@@ -1,0 +1,65 @@
+//! Decoder benchmarks: per-sample decoding time of the three decoders
+//! across code distances — the practical side of Theorem 2 (SurfNet
+//! decoder ≈ O(n α(n))) vs Corollary 1.1 (MWPM ≈ O(n²)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet_decoder::{Decoder, MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
+use surfnet_lattice::{CoreTopology, ErrorModel, ErrorSample, SurfaceCode};
+
+fn samples(code: &SurfaceCode, model: &ErrorModel, count: usize, seed: u64) -> Vec<ErrorSample> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| model.sample(&mut rng)).collect()
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for &distance in &[5usize, 9, 13] {
+        let code = SurfaceCode::new(distance).unwrap();
+        let partition = code.core_partition(CoreTopology::Cross);
+        let model = ErrorModel::dual_channel(&code, &partition, 0.06, 0.15);
+        let batch = samples(&code, &model, 32, 42);
+
+        let mwpm = MwpmDecoder::from_model(&code, &model);
+        let uf = UnionFindDecoder::from_model(&code, &model);
+        let sn = SurfNetDecoder::from_model(&code, &model);
+
+        group.bench_with_input(BenchmarkId::new("mwpm", distance), &batch, |b, batch| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = &batch[i % batch.len()];
+                i += 1;
+                mwpm.decode_sample(&code, s)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("union-find", distance),
+            &batch,
+            |b, batch| {
+                let mut i = 0;
+                b.iter(|| {
+                    let s = &batch[i % batch.len()];
+                    i += 1;
+                    uf.decode_sample(&code, s)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("surfnet", distance), &batch, |b, batch| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = &batch[i % batch.len()];
+                i += 1;
+                sn.decode_sample(&code, s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decoders
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! One criterion bench per evaluation figure: times a single unit of each
+//! experiment (one trial / one grid point) so regressions in any figure's
+//! pipeline are caught without running the full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use surfnet_core::experiments::{fig6b, fig8};
+use surfnet_core::pipeline::{run_trial, Design};
+use surfnet_core::scenario::TrialConfig;
+use surfnet_core::DecoderKind;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = TrialConfig::default();
+    // Fig. 6(a): one Raw and one SurfNet trial.
+    c.bench_function("fig6a-trial-raw", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_trial(Design::Raw, &cfg, seed).unwrap()
+        })
+    });
+    c.bench_function("fig6a-trial-surfnet", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_trial(Design::SurfNet, &cfg, seed).unwrap()
+        })
+    });
+    // Fig. 6(b): one sweep-point config build + trial (threshold axis).
+    c.bench_function("fig6b-threshold-point", |b| {
+        let cfg = fig6b::config_for(fig6b::SweepParam::FidelityThreshold, 0.5);
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            run_trial(Design::SurfNet, &cfg, seed).unwrap()
+        })
+    });
+    // Fig. 7: one Purification-9 trial (the slowest baseline).
+    c.bench_function("fig7-trial-purification9", |b| {
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            run_trial(Design::Purification(9), &cfg, seed).unwrap()
+        })
+    });
+    // Fig. 8: one small threshold grid point per decoder.
+    c.bench_function("fig8-point-unionfind", |b| {
+        b.iter(|| {
+            fig8::run(
+                DecoderKind::UnionFind,
+                &[9],
+                &[0.07],
+                fig8::ERASURE_RATE,
+                20,
+                300,
+            )
+        })
+    });
+    c.bench_function("fig8-point-surfnet", |b| {
+        b.iter(|| {
+            fig8::run(
+                DecoderKind::SurfNet,
+                &[9],
+                &[0.07],
+                fig8::ERASURE_RATE,
+                20,
+                300,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

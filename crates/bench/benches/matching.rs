@@ -1,0 +1,40 @@
+//! Blossom matcher scaling (Corollary 1.1's substrate): minimum-weight
+//! perfect matching on complete graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surfnet_decoder::blossom::min_weight_perfect_matching;
+
+fn complete_graph(n: usize, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f64 / 10.0
+    };
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, next()));
+        }
+    }
+    edges
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom");
+    for &n in &[16usize, 32, 64, 96] {
+        let edges = complete_graph(n, 7);
+        group.bench_with_input(BenchmarkId::new("mwpm-complete", n), &edges, |b, edges| {
+            b.iter(|| min_weight_perfect_matching(n, edges).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: independent vs contended execution. The default executor
+//! gives every transfer private entanglement sources; the concurrent
+//! executor makes all scheduled codes share per-fiber pair pools. Fidelity
+//! is unchanged (it is route-determined); latency degrades under
+//! contention — the effect the capacity constraints of Eq. 5 budget for.
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin ablation_concurrency -- [--trials N]`
+
+use surfnet_bench::{arg_or, args};
+use surfnet_core::experiments::runner::parallel_trials;
+use surfnet_core::pipeline::Design;
+use surfnet_core::scenario::TrialConfig;
+use surfnet_core::MetricsSummary;
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 40usize);
+    let seed = arg_or(&args, "--seed", 77_000u64);
+    println!("execution-contention ablation ({trials} trials per row)");
+    for (label, concurrent) in [("independent", false), ("concurrent", true)] {
+        let mut cfg = TrialConfig::default();
+        cfg.concurrent_execution = concurrent;
+        let m = MetricsSummary::from_trials(&parallel_trials(Design::SurfNet, &cfg, trials, seed));
+        println!(
+            "  {label:<12} fidelity {:.3}  latency {:>7.1}  throughput {:.3}",
+            m.fidelity, m.latency, m.throughput
+        );
+    }
+}

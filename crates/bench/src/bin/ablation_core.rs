@@ -1,0 +1,52 @@
+//! Ablation: Core-topology geometry (paper Sec. IV: "the specific selection
+//! of data qubits and geometry for the Core part ... is a future
+//! improvement"). Compares logical error rates when the high-fidelity Core
+//! is the cross (default), the middle row only, the middle column only, or
+//! absent (uniform rates), at the paper's Fig. 8 operating point.
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin ablation_core -- [--trials N]`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet_bench::{arg_or, args};
+use surfnet_decoder::{Decoder, SurfNetDecoder};
+use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+
+fn rate(code: &SurfaceCode, model: &ErrorModel, trials: usize, seed: u64) -> f64 {
+    let decoder = SurfNetDecoder::from_model(code, model);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let failures = (0..trials)
+        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .count();
+    failures as f64 / trials as f64
+}
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 1500usize);
+    let distance = arg_or(&args, "--distance", 9usize);
+    let p = arg_or(&args, "--pauli", 0.07f64);
+    let pe = arg_or(&args, "--erasure", 0.15f64);
+    let code = SurfaceCode::new(distance).expect("valid distance");
+    println!(
+        "core-topology ablation: d={distance}, pauli {:.1}%, erasure {:.1}%, {trials} trials",
+        p * 100.0,
+        pe * 100.0
+    );
+    let cases: Vec<(&str, Option<CoreTopology>)> = vec![
+        ("none (uniform)", None),
+        ("cross", Some(CoreTopology::Cross)),
+        ("middle-row", Some(CoreTopology::MiddleRow)),
+        ("middle-column", Some(CoreTopology::MiddleColumn)),
+    ];
+    for (label, topology) in cases {
+        let model = match topology {
+            None => ErrorModel::uniform(&code, p, pe),
+            Some(t) => {
+                let part = code.core_partition(t);
+                ErrorModel::dual_channel(&code, &part, p, pe)
+            }
+        };
+        println!("  {label:<16} logical error rate {:.4}", rate(&code, &model, trials, 11));
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation: the SurfNet Decoder's step size `r` (Algorithm 2: "can be
+//! further adjusted to optimize between the decoding speed and accuracy,
+//! with the default 2/3 generally achieving a good balance").
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin ablation_step -- [--trials N]`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use surfnet_bench::{arg_or, args};
+use surfnet_decoder::{Decoder, SurfNetDecoder};
+use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 1200usize);
+    let distance = arg_or(&args, "--distance", 9usize);
+    let code = SurfaceCode::new(distance).expect("valid distance");
+    let part = code.core_partition(CoreTopology::Cross);
+    let model = ErrorModel::dual_channel(&code, &part, 0.07, 0.15);
+    println!("step-size ablation: d={distance}, pauli 7%, erasure 15%, {trials} trials");
+    for r in [0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0, 1.5] {
+        let decoder = SurfNetDecoder::with_step(&code, &model, r);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let start = Instant::now();
+        let failures = (0..trials)
+            .filter(|_| !decoder.decode_sample(&code, &model.sample(&mut rng)).is_success())
+            .count();
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "  r = {r:<5.3} logical error rate {:.4}  ({:.1} decodes/s)",
+            failures as f64 / trials as f64,
+            trials as f64 / elapsed
+        );
+    }
+}

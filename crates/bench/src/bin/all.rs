@@ -1,0 +1,40 @@
+//! Regenerates every evaluation figure in one run.
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin all -- [--trials N] [--fig8-trials N]`
+
+use surfnet_bench::{arg_or, args};
+use surfnet_core::experiments::{fig6a, fig6b, fig7, fig8};
+use surfnet_core::DecoderKind;
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 40usize);
+    let fig8_trials = arg_or(&args, "--fig8-trials", 400usize);
+    let seed = arg_or(&args, "--seed", 90_000u64);
+
+    print!("{}", fig6a::render(&fig6a::run(trials, seed)));
+    println!();
+    for param in [
+        fig6b::SweepParam::Capacity,
+        fig6b::SweepParam::Entanglement,
+        fig6b::SweepParam::MessagesPerRequest,
+        fig6b::SweepParam::FidelityThreshold,
+    ] {
+        println!("{}", fig6b::render(&fig6b::run(param, trials, seed + 1)));
+    }
+    print!("{}", fig7::render(&fig7::run(trials, seed + 2)));
+    println!();
+    let distances = fig8::paper_distances();
+    let rates = fig8::paper_rates();
+    for decoder in [DecoderKind::UnionFind, DecoderKind::SurfNet] {
+        let curves = fig8::run(
+            decoder,
+            &distances,
+            &rates,
+            fig8::ERASURE_RATE,
+            fig8_trials,
+            seed + 3,
+        );
+        println!("{}", fig8::render(&curves));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 6(a): Raw vs SurfNet in three facility scenarios.
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin fig6a -- [--trials N] [--seed S]`
+
+use surfnet_bench::{arg_or, args, has_flag};
+use surfnet_core::experiments::fig6a;
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 40usize);
+    let seed = arg_or(&args, "--seed", 61_000u64);
+    let result = fig6a::run(trials, seed);
+    print!("{}", fig6a::render(&result));
+    if has_flag(&args, "--detail") {
+        println!();
+        print!("{}", fig6a::render_detail(&result));
+    }
+}

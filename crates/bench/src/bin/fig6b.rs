@@ -1,0 +1,30 @@
+//! Regenerates Fig. 6(b.1–b.4): SurfNet parameter sweeps.
+//!
+//! Usage: `cargo run -p surfnet-bench --release --bin fig6b -- \
+//!     [--param capacity|entanglement|messages|threshold|all] [--trials N] [--seed S]`
+
+use surfnet_bench::{arg_or, args};
+use surfnet_core::experiments::fig6b::{self, SweepParam};
+
+fn main() {
+    let args = args();
+    let trials = arg_or(&args, "--trials", 30usize);
+    let seed = arg_or(&args, "--seed", 62_000u64);
+    let which = arg_or(&args, "--param", "all".to_string());
+    let params: Vec<SweepParam> = match which.as_str() {
+        "capacity" => vec![SweepParam::Capacity],
+        "entanglement" => vec![SweepParam::Entanglement],
+        "messages" => vec![SweepParam::MessagesPerRequest],
+        "threshold" => vec![SweepParam::FidelityThreshold],
+        _ => vec![
+            SweepParam::Capacity,
+            SweepParam::Entanglement,
+            SweepParam::MessagesPerRequest,
+            SweepParam::FidelityThreshold,
+        ],
+    };
+    for param in params {
+        let sweep = fig6b::run(param, trials, seed);
+        println!("{}", fig6b::render(&sweep));
+    }
+}

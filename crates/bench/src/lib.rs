@@ -1,0 +1,57 @@
+//! Benchmark harness for the SurfNet reproduction.
+//!
+//! Binaries regenerate every evaluation artifact of the paper:
+//!
+//! * `fig6a` — Fig. 6(a): Raw vs SurfNet tables (throughput, latency,
+//!   fidelity) in three facility scenarios;
+//! * `fig6b` — Fig. 6(b.1–b.4): parameter sweeps
+//!   (`--param capacity|entanglement|messages|threshold`);
+//! * `fig7` — Fig. 7: five designs × four scenarios;
+//! * `fig8` — Fig. 8: decoder thresholds (Union-Find vs SurfNet);
+//! * `all` — everything above with paper-scale defaults.
+//!
+//! Criterion benches (`cargo bench -p surfnet-bench`) measure the decoder
+//! and matcher scaling claims (Theorems 1–2) and the LP scheduler.
+
+use std::env;
+
+/// Minimal `--key value` argument extraction for the figure binaries.
+///
+/// # Examples
+///
+/// ```
+/// let trials = surfnet_bench::arg_or(&["--trials".into(), "12".into()], "--trials", 40usize);
+/// assert_eq!(trials, 12);
+/// ```
+pub fn arg_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Collects process arguments (skipping argv[0]).
+pub fn args() -> Vec<String> {
+    env::args().skip(1).collect()
+}
+
+/// Whether a bare flag is present.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_or_parses_and_defaults() {
+        let args: Vec<String> = vec!["--trials".into(), "7".into(), "--x".into()];
+        assert_eq!(arg_or(&args, "--trials", 1usize), 7);
+        assert_eq!(arg_or(&args, "--seed", 42u64), 42);
+        assert_eq!(arg_or(&args, "--x", 5usize), 5); // missing value
+        assert!(has_flag(&args, "--x"));
+        assert!(!has_flag(&args, "--y"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Turning execution records into decoding outcomes.
+//!
+//! The network layer reports, for every executed surface-code transfer,
+//! the per-segment estimated fidelities and erasure probabilities
+//! ([`SegmentOutcome`]). This module builds the corresponding per-qubit
+//! error models (Core qubits get the Core channel's numbers, Support
+//! qubits the plain channel's), samples the physical errors, decodes at
+//! each correction point, and declares the communication successful when
+//! no segment suffers a logical error.
+
+use rand::Rng;
+use surfnet_decoder::{Decoder, SurfNetDecoder, UnionFindDecoder};
+use surfnet_lattice::{ErrorModel, Partition, SurfaceCode};
+use surfnet_netsim::execution::{ExecutionOutcome, SegmentOutcome};
+
+/// Which decoder the servers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// The SurfNet Decoder (Algorithm 2), the network's default.
+    SurfNet,
+    /// The Union-Find baseline.
+    UnionFind,
+}
+
+/// Builds the per-qubit error model one segment induces on the code.
+pub fn segment_error_model(
+    code: &SurfaceCode,
+    partition: &Partition,
+    segment: &SegmentOutcome,
+) -> ErrorModel {
+    let n = code.num_data_qubits();
+    let mut fidelities = vec![0.0; n];
+    let mut erasures = vec![0.0; n];
+    for q in 0..n {
+        if partition.is_core(q) {
+            fidelities[q] = segment.core_fidelity;
+            erasures[q] = segment.core_erasure_prob;
+        } else {
+            fidelities[q] = segment.support_fidelity;
+            erasures[q] = segment.support_erasure_prob;
+        }
+    }
+    ErrorModel::from_fidelities(code, &fidelities, &erasures)
+        .expect("segment records are valid probabilities")
+}
+
+/// Samples and decodes every segment of one executed transfer; returns
+/// whether the communication completed without any logical error.
+///
+/// Error correction happens at the end of every segment (servers) and at
+/// delivery (the receiving user ultimately decodes the logical qubit), so
+/// every segment's accumulated error is decoded against the code.
+pub fn evaluate_transfer<R: Rng + ?Sized>(
+    code: &SurfaceCode,
+    partition: &Partition,
+    outcome: &ExecutionOutcome,
+    decoder: DecoderKind,
+    rng: &mut R,
+) -> bool {
+    if !outcome.completed {
+        return false;
+    }
+    for segment in &outcome.segments {
+        let model = segment_error_model(code, partition, segment);
+        let sample = model.sample(rng);
+        let result = match decoder {
+            DecoderKind::SurfNet => {
+                SurfNetDecoder::from_model(code, &model).decode_sample(code, &sample)
+            }
+            DecoderKind::UnionFind => {
+                UnionFindDecoder::from_model(code, &model).decode_sample(code, &sample)
+            }
+        };
+        debug_assert!(result.syndrome_cleared);
+        if !result.is_success() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use surfnet_lattice::CoreTopology;
+
+    fn code_and_partition() -> (SurfaceCode, Partition) {
+        let code = SurfaceCode::new(5).unwrap();
+        let partition = code.core_partition(CoreTopology::Cross);
+        (code, partition)
+    }
+
+    fn segment(core_f: f64, supp_f: f64, supp_e: f64) -> SegmentOutcome {
+        SegmentOutcome {
+            core_fidelity: core_f,
+            support_fidelity: supp_f,
+            support_erasure_prob: supp_e,
+            core_erasure_prob: 0.0,
+            ticks: 3,
+            corrected_at_end: true,
+        }
+    }
+
+    #[test]
+    fn model_assigns_channel_rates_by_partition() {
+        let (code, part) = code_and_partition();
+        let model = segment_error_model(&code, &part, &segment(0.95, 0.85, 0.1));
+        for q in 0..code.num_data_qubits() {
+            if part.is_core(q) {
+                assert!((model.pauli_prob(q) - 0.05).abs() < 1e-12);
+                assert_eq!(model.erasure_prob(q), 0.0);
+            } else {
+                assert!((model.pauli_prob(q) - 0.15).abs() < 1e-12);
+                assert!((model.erasure_prob(q) - 0.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_segments_always_succeed() {
+        let (code, part) = code_and_partition();
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 6,
+            segments: vec![segment(1.0, 1.0, 0.0), segment(1.0, 1.0, 0.0)],
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng));
+    }
+
+    #[test]
+    fn incomplete_execution_fails() {
+        let (code, part) = code_and_partition();
+        let outcome = ExecutionOutcome {
+            completed: false,
+            latency: 0,
+            segments: Vec::new(),
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng));
+    }
+
+    #[test]
+    fn noisy_segments_fail_sometimes_but_not_always() {
+        let (code, part) = code_and_partition();
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 3,
+            segments: vec![segment(0.92, 0.84, 0.15)],
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let successes = (0..200)
+            .filter(|_| {
+                evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng)
+            })
+            .count();
+        assert!(successes > 20, "successes {successes}");
+        assert!(successes < 200, "successes {successes}");
+    }
+
+    #[test]
+    fn both_decoders_usable() {
+        let (code, part) = code_and_partition();
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 3,
+            segments: vec![segment(0.98, 0.95, 0.02)],
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng);
+        let _ = evaluate_transfer(&code, &part, &outcome, DecoderKind::UnionFind, &mut rng);
+    }
+}

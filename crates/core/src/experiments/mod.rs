@@ -1,0 +1,15 @@
+//! Drivers regenerating every evaluation figure of the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig6a`] | Fig. 6(a): Raw vs SurfNet tables + fidelity detail |
+//! | [`fig6b`] | Fig. 6(b.1–b.4): parameter sweeps |
+//! | [`fig7`] | Fig. 7: five designs × four scenarios |
+//! | [`fig8`] | Fig. 8: decoder thresholds (UF vs SurfNet) |
+//! | [`runner`] | shared parallel Monte-Carlo machinery |
+
+pub mod fig6a;
+pub mod fig6b;
+pub mod fig7;
+pub mod fig8;
+pub mod runner;

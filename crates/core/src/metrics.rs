@@ -1,0 +1,87 @@
+//! Evaluation metrics (paper Sec. VI-C): fidelity, latency, throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one trial (one network + one batch of requests).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrialMetrics {
+    /// Success rate of executed communications (no logical error end to
+    /// end), averaged over executed communications. `NaN`-free: zero when
+    /// nothing executed.
+    pub fidelity: f64,
+    /// Mean waiting time (ticks) of executed communications.
+    pub latency: f64,
+    /// Executed over requested communications.
+    pub throughput: f64,
+    /// Number of communications that completed execution.
+    pub executed: u32,
+    /// Number requested.
+    pub requested: u32,
+}
+
+/// Aggregate over many trials.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Mean fidelity across trials.
+    pub fidelity: f64,
+    /// Standard deviation of fidelity.
+    pub fidelity_std: f64,
+    /// Mean latency.
+    pub latency: f64,
+    /// Mean throughput.
+    pub throughput: f64,
+    /// Trials aggregated.
+    pub trials: usize,
+}
+
+impl MetricsSummary {
+    /// Aggregates trial metrics (empty input yields zeros).
+    pub fn from_trials(trials: &[TrialMetrics]) -> MetricsSummary {
+        if trials.is_empty() {
+            return MetricsSummary::default();
+        }
+        let n = trials.len() as f64;
+        let fidelity = trials.iter().map(|t| t.fidelity).sum::<f64>() / n;
+        let var = trials
+            .iter()
+            .map(|t| (t.fidelity - fidelity).powi(2))
+            .sum::<f64>()
+            / n;
+        MetricsSummary {
+            fidelity,
+            fidelity_std: var.sqrt(),
+            latency: trials.iter().map(|t| t.latency).sum::<f64>() / n,
+            throughput: trials.iter().map(|t| t.throughput).sum::<f64>() / n,
+            trials: trials.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = MetricsSummary::from_trials(&[]);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.fidelity, 0.0);
+    }
+
+    #[test]
+    fn summary_averages() {
+        let t = |f: f64, l: f64, th: f64| TrialMetrics {
+            fidelity: f,
+            latency: l,
+            throughput: th,
+            executed: 1,
+            requested: 1,
+        };
+        let s = MetricsSummary::from_trials(&[t(0.8, 10.0, 1.0), t(0.6, 20.0, 0.5)]);
+        assert!((s.fidelity - 0.7).abs() < 1e-12);
+        assert!((s.latency - 15.0).abs() < 1e-12);
+        assert!((s.throughput - 0.75).abs() < 1e-12);
+        assert!((s.fidelity_std - 0.1).abs() < 1e-12);
+        assert_eq!(s.trials, 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Weighted cluster growth — the shared engine behind the Union-Find and
+//! SurfNet decoders (Algorithm 2).
+//!
+//! Starting from a singleton cluster per syndrome, clusters with odd
+//! syndrome parity grow outward: every frontier edge accumulates growth at
+//! its configured speed, and a fully-grown edge fuses the clusters at its
+//! endpoints. A cluster that absorbs the boundary vertex becomes neutral
+//! (its syndromes can be flushed to the boundary), as does a cluster whose
+//! syndrome count turns even. Growth stops when no odd cluster remains; the
+//! grown edge set is then handed to the peeling decoder.
+
+use crate::graph::DecodingGraph;
+use crate::union_find::UnionFind;
+use crate::DecoderError;
+
+/// Per-edge growth configuration.
+#[derive(Debug, Clone)]
+pub struct GrowthConfig {
+    /// Fractional growth added to a frontier edge per round per incident
+    /// odd cluster. The SurfNet decoder uses `−r / ln(1 − ρ)` (erasures
+    /// fastest); the Union-Find baseline uses a uniform half-edge speed.
+    pub speeds: Vec<f64>,
+    /// Edges that start fully grown. The Union-Find baseline pre-grows
+    /// erased edges (the erasure initializes its clusters, after [32]).
+    pub pregrown: Vec<bool>,
+}
+
+impl GrowthConfig {
+    /// Uniform half-edge growth with the given pre-grown set.
+    pub fn uniform(num_edges: usize, pregrown: Vec<bool>) -> GrowthConfig {
+        assert_eq!(pregrown.len(), num_edges);
+        GrowthConfig {
+            speeds: vec![0.5; num_edges],
+            pregrown,
+        }
+    }
+
+    /// Weighted speeds, nothing pre-grown.
+    pub fn weighted(speeds: Vec<f64>) -> GrowthConfig {
+        let n = speeds.len();
+        GrowthConfig {
+            speeds,
+            pregrown: vec![false; n],
+        }
+    }
+}
+
+/// The outcome of cluster growth: which edges ended up inside clusters.
+#[derive(Debug, Clone)]
+pub struct GrownClusters {
+    /// `grown[e]` is true when edge `e` is part of some cluster's support.
+    pub grown: Vec<bool>,
+    /// Number of growth rounds executed (diagnostic; bounds decoding work).
+    pub rounds: usize,
+}
+
+/// Grows clusters around `defects` until every cluster is even or touches
+/// the boundary.
+///
+/// # Errors
+///
+/// Returns [`DecoderError::UnpairableSyndromes`] when an odd number of
+/// defects exists in a graph with no boundary edges (nothing can absorb the
+/// extra syndrome).
+///
+/// # Panics
+///
+/// Panics if `config` vectors don't have one entry per edge, or a defect
+/// index is out of range.
+pub fn grow_clusters(
+    graph: &DecodingGraph,
+    defects: &[usize],
+    config: &GrowthConfig,
+) -> Result<GrownClusters, DecoderError> {
+    assert_eq!(config.speeds.len(), graph.num_edges());
+    assert_eq!(config.pregrown.len(), graph.num_edges());
+    let nv = graph.num_vertices();
+    let boundary = graph.boundary();
+
+    if defects.len() % 2 == 1 && !graph.has_boundary_edges() {
+        return Err(DecoderError::UnpairableSyndromes);
+    }
+
+    let mut uf = UnionFind::new(nv);
+    let mut is_defect = vec![false; nv];
+    for &d in defects {
+        assert!(d < nv, "defect vertex {d} out of range");
+        is_defect[d] = true;
+    }
+    // Per-root bookkeeping, kept valid for *current* roots only.
+    let mut parity = vec![0usize; nv];
+    let mut touches_boundary = vec![false; nv];
+    let mut members: Vec<Vec<usize>> = (0..nv).map(|v| vec![v]).collect();
+    for &d in defects {
+        parity[d] = 1;
+    }
+    touches_boundary[boundary] = true;
+
+    let mut growth = vec![0.0f64; graph.num_edges()];
+    let mut grown = vec![false; graph.num_edges()];
+
+    // Merges endpoints of a fully grown edge, folding bookkeeping.
+    fn fuse(
+        uf: &mut UnionFind,
+        parity: &mut [usize],
+        touches_boundary: &mut [bool],
+        members: &mut [Vec<usize>],
+        a: usize,
+        b: usize,
+    ) {
+        let ra = uf.find(a);
+        let rb = uf.find(b);
+        if ra == rb {
+            return;
+        }
+        let root = uf.union(ra, rb).expect("roots differ");
+        let other = if root == ra { rb } else { ra };
+        parity[root] = (parity[ra] + parity[rb]) % 2;
+        touches_boundary[root] = touches_boundary[ra] || touches_boundary[rb];
+        let mut moved = std::mem::take(&mut members[other]);
+        members[root].append(&mut moved);
+    }
+
+    for e in 0..graph.num_edges() {
+        if config.pregrown[e] {
+            grown[e] = true;
+            growth[e] = 1.0;
+            let edge = graph.edge(e);
+            fuse(
+                &mut uf,
+                &mut parity,
+                &mut touches_boundary,
+                &mut members,
+                edge.a,
+                edge.b,
+            );
+        }
+    }
+
+    let odd_roots = |uf: &mut UnionFind,
+                     parity: &[usize],
+                     touches_boundary: &[bool],
+                     defects: &[usize]|
+     -> Vec<usize> {
+        let mut roots: Vec<usize> = defects.iter().map(|&d| uf.find(d)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots
+            .into_iter()
+            .filter(|&r| parity[r] % 2 == 1 && !touches_boundary[r])
+            .collect()
+    };
+
+    let mut rounds = 0usize;
+    loop {
+        let active = odd_roots(&mut uf, &parity, &touches_boundary, defects);
+        if active.is_empty() {
+            break;
+        }
+        rounds += 1;
+        // Safety valve: every round adds a positive amount of growth to at
+        // least one ungrown frontier edge, so the round count is bounded by
+        // total capacity over the minimum speed. A generous cap guards
+        // against degenerate configurations (e.g. zero speeds).
+        if rounds > 64 * graph.num_edges() + 64 {
+            return Err(DecoderError::GrowthStalled);
+        }
+
+        // Accumulate this round's growth for every odd cluster, then fuse.
+        let mut newly_grown: Vec<usize> = Vec::new();
+        for &root in &active {
+            // `root` may have been fused earlier in this same round; skip
+            // stale roots (their members grew under the new root already).
+            if uf.find(root) != root
+                || parity[uf.find(root)] % 2 == 0
+                || touches_boundary[uf.find(root)]
+            {
+                continue;
+            }
+            let mut frontier: Vec<usize> = Vec::new();
+            for &v in &members[root] {
+                for &e in graph.incident(v) {
+                    if !grown[e] {
+                        frontier.push(e);
+                    }
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            for e in frontier {
+                // An edge interior to the cluster (both endpoints inside)
+                // would be enumerated twice via its two endpoints; dedup
+                // above makes the growth increment once per cluster.
+                growth[e] += config.speeds[e].max(0.0);
+                if growth[e] >= 1.0 && !grown[e] {
+                    grown[e] = true;
+                    newly_grown.push(e);
+                }
+            }
+            // Fuse as soon as this cluster finished its round so that
+            // "if Ci meets another cluster, fuse together" (Alg. 2 line 7)
+            // is honored before the next cluster grows.
+            for &e in &newly_grown {
+                let edge = graph.edge(e);
+                fuse(
+                    &mut uf,
+                    &mut parity,
+                    &mut touches_boundary,
+                    &mut members,
+                    edge.a,
+                    edge.b,
+                );
+            }
+            newly_grown.clear();
+        }
+    }
+
+    Ok(GrownClusters { grown, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DecodingGraph, GraphEdge};
+
+    /// Line graph: 0 -e0- 1 -e1- 2 -e2- boundary(3).
+    fn line(fidelity: f64) -> DecodingGraph {
+        DecodingGraph::from_edges(
+            3,
+            vec![
+                GraphEdge { a: 0, b: 1, qubit: 0, fidelity },
+                GraphEdge { a: 1, b: 2, qubit: 1, fidelity },
+                GraphEdge { a: 2, b: 3, qubit: 2, fidelity },
+            ],
+        )
+    }
+
+    #[test]
+    fn no_defects_no_growth() {
+        let g = line(0.9);
+        let out = grow_clusters(&g, &[], &GrowthConfig::uniform(3, vec![false; 3])).unwrap();
+        assert!(out.grown.iter().all(|&g| !g));
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn pair_of_defects_fuses_between_them() {
+        let g = line(0.9);
+        let out = grow_clusters(&g, &[0, 1], &GrowthConfig::uniform(3, vec![false; 3])).unwrap();
+        // Both defects grow e0 from each side: fused after one round.
+        assert!(out.grown[0]);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn lone_defect_reaches_boundary() {
+        let g = line(0.9);
+        let out = grow_clusters(&g, &[2], &GrowthConfig::uniform(3, vec![false; 3])).unwrap();
+        assert!(out.grown[2], "defect next to boundary should absorb e2");
+    }
+
+    #[test]
+    fn pregrown_erasure_fuses_immediately() {
+        let g = line(0.9);
+        let cfg = GrowthConfig::uniform(3, vec![true, false, false]);
+        let out = grow_clusters(&g, &[0, 1], &cfg).unwrap();
+        // The two defects are already connected by the erased edge: even
+        // cluster, zero growth rounds.
+        assert_eq!(out.rounds, 0);
+        assert!(out.grown[0]);
+        assert!(!out.grown[1]);
+    }
+
+    #[test]
+    fn weighted_speeds_bias_growth_direction() {
+        // Defect at vertex 1; edge e0 is slow, e1+e2 fast toward boundary.
+        let g = line(0.9);
+        let cfg = GrowthConfig::weighted(vec![0.1, 1.0, 1.0]);
+        let out = grow_clusters(&g, &[1], &cfg).unwrap();
+        assert!(out.grown[1]);
+        assert!(out.grown[2]);
+        assert!(!out.grown[0], "slow edge should not finish growing");
+    }
+
+    #[test]
+    fn odd_defects_without_boundary_is_error() {
+        let g = DecodingGraph::from_edges(
+            3,
+            vec![
+                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
+                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
+            ],
+        );
+        assert!(matches!(
+            grow_clusters(&g, &[0], &GrowthConfig::uniform(2, vec![false; 2])),
+            Err(DecoderError::UnpairableSyndromes)
+        ));
+    }
+
+    #[test]
+    fn zero_speeds_stall_detected() {
+        let g = line(0.9);
+        let cfg = GrowthConfig::weighted(vec![0.0, 0.0, 0.0]);
+        assert!(matches!(
+            grow_clusters(&g, &[0, 1], &cfg),
+            Err(DecoderError::GrowthStalled)
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! The modified MWPM decoder (paper Algorithm 1, Theorem 1).
+//!
+//! The decoding graph `G = {V, E, W}` is reduced to a *path graph* `G'`
+//! over the syndromes: every pair of syndromes is connected by its shortest
+//! path in `G` (weight = summed edge weights), and every syndrome also gets
+//! a virtual twin connected at its boundary distance — the standard device
+//! that lets blossom match a syndrome to the boundary. The blossom
+//! algorithm then returns the minimum-weight perfect matching, and the
+//! correction is the symmetric difference of the matched paths.
+
+use crate::blossom::min_weight_perfect_matching;
+use crate::dijkstra::ShortestPaths;
+use crate::graph::DecodingGraph;
+use crate::DecoderError;
+
+/// Decodes one graph by minimum-weight perfect matching.
+///
+/// `defects` are syndrome vertex indices; `erased[e]` flags per-edge
+/// erasures for this sample (erased edges decode at `ρ = 0.5`). Returns the
+/// correction as edge indices.
+///
+/// # Errors
+///
+/// Returns [`DecoderError::UnpairableSyndromes`] when some syndrome can
+/// reach neither another syndrome nor the boundary.
+///
+/// # Panics
+///
+/// Panics if `erased` does not have one flag per edge or a defect index is
+/// out of range.
+pub fn decode_graph_mwpm(
+    graph: &DecodingGraph,
+    defects: &[usize],
+    erased: &[bool],
+) -> Result<Vec<usize>, DecoderError> {
+    assert_eq!(erased.len(), graph.num_edges());
+    let q = defects.len();
+    if q == 0 {
+        return Ok(Vec::new());
+    }
+    for &d in defects {
+        assert!(d < graph.num_vertices(), "defect vertex {d} out of range");
+    }
+    let boundary = graph.boundary();
+
+    // Shortest paths from every syndrome (Algorithm 1, lines 3-7).
+    let paths: Vec<ShortestPaths> = defects
+        .iter()
+        .map(|&d| ShortestPaths::compute(graph, d, erased))
+        .collect();
+
+    // Path graph G': nodes 0..q are syndromes, nodes q..2q their virtual
+    // boundary twins.
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..q {
+        for j in (i + 1)..q {
+            let d = paths[i].dist(defects[j]);
+            if d.is_finite() {
+                edges.push((i, j, d));
+            }
+            // Virtual-virtual edges are free: unused twins pair up.
+            edges.push((q + i, q + j, 0.0));
+        }
+        let db = paths[i].dist(boundary);
+        if db.is_finite() {
+            edges.push((i, q + i, db));
+        }
+    }
+
+    let mate = min_weight_perfect_matching(2 * q, &edges)
+        .map_err(|_| DecoderError::UnpairableSyndromes)?;
+
+    // Assemble the correction as the symmetric difference of matched paths
+    // (a qubit crossed by two paths cancels out).
+    let mut edge_parity = vec![false; graph.num_edges()];
+    let mut flip_path = |edge_list: Vec<usize>| {
+        for e in edge_list {
+            edge_parity[e] = !edge_parity[e];
+        }
+    };
+    for i in 0..q {
+        let m = mate[i];
+        if m == q + i {
+            let path = paths[i]
+                .path_edges(graph, boundary)
+                .ok_or(DecoderError::UnpairableSyndromes)?;
+            flip_path(path);
+        } else if m < q && m > i {
+            let path = paths[i]
+                .path_edges(graph, defects[m])
+                .ok_or(DecoderError::UnpairableSyndromes)?;
+            flip_path(path);
+        }
+    }
+    Ok(edge_parity
+        .iter()
+        .enumerate()
+        .filter(|(_, &on)| on)
+        .map(|(e, _)| e)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DecodingGraph, GraphEdge};
+
+    fn line() -> DecodingGraph {
+        DecodingGraph::from_edges(
+            4,
+            vec![
+                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
+                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
+                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
+                GraphEdge { a: 3, b: 4, qubit: 3, fidelity: 0.9 },
+            ],
+        )
+    }
+
+    #[test]
+    fn no_defects_empty_correction() {
+        let g = line();
+        assert!(decode_graph_mwpm(&g, &[], &[false; 4]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn adjacent_defects_matched_directly() {
+        let g = line();
+        let c = decode_graph_mwpm(&g, &[1, 2], &[false; 4]).unwrap();
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn defect_near_boundary_matches_boundary() {
+        let g = line();
+        // Defect at vertex 3: boundary is one hop (e3), other defect at 0
+        // is three hops. Boundary wins.
+        let c = decode_graph_mwpm(&g, &[3], &[false; 4]).unwrap();
+        assert_eq!(c, vec![3]);
+    }
+
+    #[test]
+    fn two_defects_split_to_boundary_when_far_apart() {
+        // 0 --- 1 --- 2 --- 3 --- boundary, plus boundary edge on 0's side.
+        let g = DecodingGraph::from_edges(
+            4,
+            vec![
+                GraphEdge { a: 4, b: 0, qubit: 0, fidelity: 0.9 },
+                GraphEdge { a: 0, b: 1, qubit: 1, fidelity: 0.9 },
+                GraphEdge { a: 1, b: 2, qubit: 2, fidelity: 0.9 },
+                GraphEdge { a: 2, b: 3, qubit: 3, fidelity: 0.9 },
+                GraphEdge { a: 3, b: 4, qubit: 4, fidelity: 0.9 },
+            ],
+        );
+        // Defects at 0 and 3: pairing costs 3 edges, two boundary
+        // connections cost 1 + 1 = 2. Boundary wins.
+        let c = decode_graph_mwpm(&g, &[0, 3], &[false; 5]).unwrap();
+        assert_eq!(c, vec![0, 4]);
+    }
+
+    #[test]
+    fn erasures_attract_the_matching_path() {
+        // Diamond: 0 -> 1 via top (one heavy edge) or via bottom
+        // (two erased edges). The erased route is cheaper.
+        let g = DecodingGraph::from_edges(
+            3,
+            vec![
+                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.95 },
+                GraphEdge { a: 0, b: 2, qubit: 1, fidelity: 0.95 },
+                GraphEdge { a: 2, b: 1, qubit: 2, fidelity: 0.95 },
+            ],
+        );
+        let clean = decode_graph_mwpm(&g, &[0, 1], &[false; 3]).unwrap();
+        assert_eq!(clean, vec![0]);
+        let erased = vec![false, true, true];
+        let c = decode_graph_mwpm(&g, &[0, 1], &erased).unwrap();
+        // 2 * ln 2 ≈ 1.386 < ln 20 ≈ 3.0.
+        assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn isolated_defect_without_boundary_errors() {
+        let g = DecodingGraph::from_edges(
+            3,
+            vec![GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 }],
+        );
+        assert!(decode_graph_mwpm(&g, &[2], &[false; 1]).is_err());
+    }
+
+    #[test]
+    fn four_defects_pair_optimally() {
+        // Two tight pairs far apart on a long line: each pair matches
+        // internally rather than crossing.
+        let g = DecodingGraph::from_edges(
+            8,
+            vec![
+                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
+                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
+                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
+                GraphEdge { a: 3, b: 4, qubit: 3, fidelity: 0.9 },
+                GraphEdge { a: 4, b: 5, qubit: 4, fidelity: 0.9 },
+                GraphEdge { a: 5, b: 6, qubit: 5, fidelity: 0.9 },
+                GraphEdge { a: 6, b: 7, qubit: 6, fidelity: 0.9 },
+            ],
+        );
+        let c = decode_graph_mwpm(&g, &[0, 1, 5, 6], &[false; 7]).unwrap();
+        assert_eq!(c, vec![0, 5]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Disjoint-set union with union-by-size and path compression.
+//!
+//! This is the data structure that gives the Union-Find and SurfNet
+//! decoders their `O(n α(n))` worst-case complexity (paper Theorem 2):
+//! cluster fusion is a union, cluster lookup is a find.
+
+/// A disjoint-set forest over `0 .. len` elements.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns the new root, or
+    /// `None` if they were already in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        // Union by size: the larger tree absorbs the smaller.
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        Some(big)
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_reports_root() {
+        let mut uf = UnionFind::new(4);
+        let root = uf.union(0, 1).unwrap();
+        assert!(uf.connected(0, 1));
+        assert_eq!(uf.find(0), root);
+        assert_eq!(uf.set_size(1), 2);
+        assert!(uf.union(0, 1).is_none());
+    }
+
+    #[test]
+    fn union_by_size_attaches_smaller_tree() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(0, 2); // {0,1,2}
+        let root = uf.union(3, 0).unwrap(); // singleton joins the triple
+        assert_eq!(root, uf.find(0));
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, 9));
+        assert_eq!(uf.set_size(5), 10);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        // After a find, every node on the path points directly at the root.
+        let _ = uf.find(99);
+        assert_eq!(uf.parent[99], root);
+    }
+}

@@ -1,0 +1,86 @@
+//! Optimality property of the MWPM decoder (Theorem 1): the correction it
+//! returns clears the syndrome with total weight no larger than any other
+//! syndrome-clearing pattern — in particular, no larger than the true
+//! error itself.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet_decoder::graph::{DecodingGraph, GraphKind};
+use surfnet_decoder::mwpm::decode_graph_mwpm;
+use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+
+fn graph_weight(graph: &DecodingGraph, edges: &[usize], erased: &[bool]) -> f64 {
+    edges.iter().map(|&e| graph.sample_weight(e, erased)).sum()
+}
+
+#[test]
+fn mwpm_correction_never_heavier_than_true_error() {
+    let code = SurfaceCode::new(7).unwrap();
+    let part = code.core_partition(CoreTopology::Cross);
+    let model = ErrorModel::dual_channel(&code, &part, 0.08, 0.12);
+    let primal = DecodingGraph::from_code(&code, &model, GraphKind::Primal);
+    let dual = DecodingGraph::from_code(&code, &model, GraphKind::Dual);
+    let mut rng = SmallRng::seed_from_u64(31);
+    for trial in 0..150 {
+        let sample = model.sample(&mut rng);
+        let syndrome = code.extract_syndrome(&sample.pauli);
+
+        // Primal: X components of the true error form one feasible
+        // syndrome-clearing set; MWPM must not exceed its weight.
+        let truth_x: Vec<usize> = sample
+            .pauli
+            .support()
+            .filter(|&(_, op)| op.has_x_component())
+            .map(|(q, _)| q)
+            .collect();
+        let fix_x = decode_graph_mwpm(&primal, &syndrome.z_defects(), &sample.erased).unwrap();
+        let w_fix = graph_weight(&primal, &fix_x, &sample.erased);
+        let w_truth = graph_weight(&primal, &truth_x, &sample.erased);
+        assert!(
+            w_fix <= w_truth + 1e-6,
+            "trial {trial}: primal correction weight {w_fix} > truth {w_truth}"
+        );
+
+        let truth_z: Vec<usize> = sample
+            .pauli
+            .support()
+            .filter(|&(_, op)| op.has_z_component())
+            .map(|(q, _)| q)
+            .collect();
+        let fix_z = decode_graph_mwpm(&dual, &syndrome.x_defects(), &sample.erased).unwrap();
+        let w_fix = graph_weight(&dual, &fix_z, &sample.erased);
+        let w_truth = graph_weight(&dual, &truth_z, &sample.erased);
+        assert!(
+            w_fix <= w_truth + 1e-6,
+            "trial {trial}: dual correction weight {w_fix} > truth {w_truth}"
+        );
+    }
+}
+
+#[test]
+fn mwpm_never_loses_to_union_find_on_weight() {
+    // Union-Find's peeling correction also clears the syndrome; MWPM's
+    // minimality means its weight is never larger.
+    use surfnet_decoder::cluster::{grow_clusters, GrowthConfig};
+    use surfnet_decoder::peeling::peel;
+
+    let code = SurfaceCode::new(5).unwrap();
+    let model = ErrorModel::uniform(&code, 0.1, 0.1);
+    let primal = DecodingGraph::from_code(&code, &model, GraphKind::Primal);
+    let mut rng = SmallRng::seed_from_u64(17);
+    for _ in 0..100 {
+        let sample = model.sample(&mut rng);
+        let syndrome = code.extract_syndrome(&sample.pauli);
+        let defects = syndrome.z_defects();
+        let fix_mwpm = decode_graph_mwpm(&primal, &defects, &sample.erased).unwrap();
+        let cfg = GrowthConfig::uniform(primal.num_edges(), sample.erased.clone());
+        let grown = grow_clusters(&primal, &defects, &cfg).unwrap();
+        let fix_uf = peel(&primal, &grown.grown, &defects).unwrap();
+        let w_mwpm = graph_weight(&primal, &fix_mwpm, &sample.erased);
+        let w_uf = graph_weight(&primal, &fix_uf, &sample.erased);
+        assert!(
+            w_mwpm <= w_uf + 1e-6,
+            "MWPM weight {w_mwpm} exceeds UF weight {w_uf}"
+        );
+    }
+}

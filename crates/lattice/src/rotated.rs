@@ -1,0 +1,402 @@
+//! The rotated surface code.
+//!
+//! The paper's Sec. V-A sizing example — a surface code of **25 data
+//! qubits with 7 Core qubits** — is a rotated distance-5 code: `d²` data
+//! qubits on a `d × d` grid, `(d²−1)/2` stabilizers of each type
+//! (weight-4 bulk plaquettes plus weight-2 boundary checks), and a Core of
+//! `(d−1) + (d−2) = 2d−3` qubits covering every logical axis. This module
+//! implements that family alongside the unrotated [`crate::SurfaceCode`].
+
+use crate::geometry::{Boundary, EdgeEnd};
+use crate::partition::Partition;
+use crate::pauli::{Pauli, PauliString};
+use crate::syndrome::Syndrome;
+use crate::{DecodeOutcome, LatticeError, LogicalFailure};
+use serde::{Deserialize, Serialize};
+
+/// A distance-`d` rotated surface code on a `d × d` data-qubit grid.
+///
+/// # Examples
+///
+/// ```
+/// use surfnet_lattice::rotated::RotatedSurfaceCode;
+///
+/// let code = RotatedSurfaceCode::new(5)?;
+/// assert_eq!(code.num_data_qubits(), 25);
+/// assert_eq!(code.paper_core().len(), 7); // the paper's 25/7 example
+/// # Ok::<(), surfnet_lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RotatedSurfaceCode {
+    distance: usize,
+    z_stabilizers: Vec<Vec<usize>>,
+    x_stabilizers: Vec<Vec<usize>>,
+    z_edges: Vec<(EdgeEnd, EdgeEnd)>,
+    x_edges: Vec<(EdgeEnd, EdgeEnd)>,
+    logical_x_support: Vec<usize>,
+    logical_z_support: Vec<usize>,
+}
+
+impl RotatedSurfaceCode {
+    /// Builds a rotated code of odd distance `d ≥ 3`.
+    ///
+    /// # Errors
+    ///
+    /// [`LatticeError::InvalidDistance`] for even or too-small distances.
+    pub fn new(distance: usize) -> Result<RotatedSurfaceCode, LatticeError> {
+        if distance < 3 || distance % 2 == 0 {
+            return Err(LatticeError::InvalidDistance(distance));
+        }
+        let d = distance as isize;
+        let idx = |r: isize, c: isize| (r * d + c) as usize;
+        let in_bounds = |r: isize, c: isize| r >= 0 && r < d && c >= 0 && c < d;
+
+        let mut z_stabilizers = Vec::new();
+        let mut x_stabilizers = Vec::new();
+        // Candidate plaquettes at corners (pr, pc), pr/pc ∈ -1 .. d-1,
+        // covering the in-bounds subset of a 2×2 data block. Parity picks
+        // the type; weight-2 boundary checks survive only on the sides
+        // matching their type (Z on west/east, X on north/south), which
+        // leaves every logical-X chain terminating north/south and every
+        // logical-Z chain terminating west/east.
+        for pr in -1..d {
+            for pc in -1..d {
+                let support: Vec<usize> = [(pr, pc), (pr, pc + 1), (pr + 1, pc), (pr + 1, pc + 1)]
+                    .into_iter()
+                    .filter(|&(r, c)| in_bounds(r, c))
+                    .map(|(r, c)| idx(r, c))
+                    .collect();
+                let is_z = (pr + pc).rem_euclid(2) == 0;
+                let keep = match support.len() {
+                    4 => true,
+                    2 => {
+                        if is_z {
+                            pc == -1 || pc == d - 1
+                        } else {
+                            pr == -1 || pr == d - 1
+                        }
+                    }
+                    _ => false,
+                };
+                if keep {
+                    if is_z {
+                        z_stabilizers.push(support);
+                    } else {
+                        x_stabilizers.push(support);
+                    }
+                }
+            }
+        }
+
+        let n = (distance * distance) as usize;
+        let member_of = |stabs: &[Vec<usize>], q: usize| -> Vec<usize> {
+            stabs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contains(&q))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut z_edges = Vec::with_capacity(n);
+        let mut x_edges = Vec::with_capacity(n);
+        for q in 0..n {
+            let row = q / distance;
+            let col = q % distance;
+            let zs = member_of(&z_stabilizers, q);
+            z_edges.push(match zs.as_slice() {
+                [a, b] => (EdgeEnd::Check(*a), EdgeEnd::Check(*b)),
+                [a] => {
+                    let side = if row < distance / 2 {
+                        Boundary::North
+                    } else {
+                        Boundary::South
+                    };
+                    (EdgeEnd::Check(*a), EdgeEnd::Boundary(side))
+                }
+                other => unreachable!("qubit {q} in {} Z stabilizers", other.len()),
+            });
+            let xs = member_of(&x_stabilizers, q);
+            x_edges.push(match xs.as_slice() {
+                [a, b] => (EdgeEnd::Check(*a), EdgeEnd::Check(*b)),
+                [a] => {
+                    let side = if col < distance / 2 {
+                        Boundary::West
+                    } else {
+                        Boundary::East
+                    };
+                    (EdgeEnd::Check(*a), EdgeEnd::Boundary(side))
+                }
+                other => unreachable!("qubit {q} in {} X stabilizers", other.len()),
+            });
+        }
+
+        let logical_z_support = (0..distance).collect(); // top row
+        let logical_x_support = (0..distance).map(|r| r * distance).collect(); // left col
+
+        Ok(RotatedSurfaceCode {
+            distance,
+            z_stabilizers,
+            x_stabilizers,
+            z_edges,
+            x_edges,
+            logical_x_support,
+            logical_z_support,
+        })
+    }
+
+    /// The code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Number of data qubits, `d²`.
+    pub fn num_data_qubits(&self) -> usize {
+        self.distance * self.distance
+    }
+
+    /// Number of Z stabilizers, `(d²−1)/2`.
+    pub fn num_measure_z(&self) -> usize {
+        self.z_stabilizers.len()
+    }
+
+    /// Number of X stabilizers, `(d²−1)/2`.
+    pub fn num_measure_x(&self) -> usize {
+        self.x_stabilizers.len()
+    }
+
+    /// Data-qubit support of Z stabilizer `i`.
+    pub fn z_stabilizer(&self, i: usize) -> &[usize] {
+        &self.z_stabilizers[i]
+    }
+
+    /// Data-qubit support of X stabilizer `i`.
+    pub fn x_stabilizer(&self, i: usize) -> &[usize] {
+        &self.x_stabilizers[i]
+    }
+
+    /// The edge data qubit `q` realizes in the Z decoding graph.
+    pub fn z_edge(&self, q: usize) -> (EdgeEnd, EdgeEnd) {
+        self.z_edges[q]
+    }
+
+    /// The edge data qubit `q` realizes in the X decoding graph.
+    pub fn x_edge(&self, q: usize) -> (EdgeEnd, EdgeEnd) {
+        self.x_edges[q]
+    }
+
+    /// Support of the logical X operator (left column).
+    pub fn logical_x_support(&self) -> &[usize] {
+        &self.logical_x_support
+    }
+
+    /// Support of the logical Z operator (top row).
+    pub fn logical_z_support(&self) -> &[usize] {
+        &self.logical_z_support
+    }
+
+    /// The paper's fixed Core: the middle column plus the middle row
+    /// without its two boundary qubits — `(d−1) + (d−2) = 2d−3` qubits
+    /// (7 for the paper's distance-5 example), one per logical axis.
+    pub fn paper_core(&self) -> Vec<usize> {
+        let d = self.distance;
+        let mid = d / 2;
+        let mut core: Vec<usize> = (0..d).map(|r| r * d + mid).collect();
+        core.extend((1..d - 1).map(|c| mid * d + c));
+        core.sort_unstable();
+        core.dedup();
+        core
+    }
+
+    /// Builds the Core/Support [`Partition`] from the paper's fixed
+    /// topology.
+    pub fn paper_partition(&self) -> Partition {
+        Partition::with_len(self.num_data_qubits(), self.paper_core())
+            .expect("paper core indices are in range")
+    }
+
+    /// Extracts the syndrome a Pauli error pattern produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` does not have one operator per data qubit.
+    pub fn extract_syndrome(&self, error: &PauliString) -> Syndrome {
+        assert_eq!(error.len(), self.num_data_qubits());
+        let z_flips = self
+            .z_stabilizers
+            .iter()
+            .map(|s| {
+                s.iter().filter(|&&q| error.get(q).has_x_component()).count() % 2 == 1
+            })
+            .collect();
+        let x_flips = self
+            .x_stabilizers
+            .iter()
+            .map(|s| {
+                s.iter().filter(|&&q| error.get(q).has_z_component()).count() % 2 == 1
+            })
+            .collect();
+        Syndrome { z_flips, x_flips }
+    }
+
+    /// Tests whether `residual` flips either logical operator.
+    pub fn logical_failure(&self, residual: &PauliString) -> LogicalFailure {
+        LogicalFailure {
+            x: residual.anticommutes_on(&self.logical_z_support, Pauli::Z),
+            z: residual.anticommutes_on(&self.logical_x_support, Pauli::X),
+        }
+    }
+
+    /// Scores a correction against the true error pattern.
+    pub fn score_correction(
+        &self,
+        error: &PauliString,
+        correction: &PauliString,
+    ) -> DecodeOutcome {
+        let residual = error * correction;
+        DecodeOutcome {
+            syndrome_cleared: self.extract_syndrome(&residual).is_trivial(),
+            logical_failure: self.logical_failure(&residual),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for d in [3usize, 5, 7, 9] {
+            let code = RotatedSurfaceCode::new(d).unwrap();
+            assert_eq!(code.num_data_qubits(), d * d);
+            assert_eq!(code.num_measure_z(), (d * d - 1) / 2);
+            assert_eq!(code.num_measure_x(), (d * d - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_distances() {
+        assert!(RotatedSurfaceCode::new(2).is_err());
+        assert!(RotatedSurfaceCode::new(4).is_err());
+        assert!(RotatedSurfaceCode::new(3).is_ok());
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        let code = RotatedSurfaceCode::new(5).unwrap();
+        let n = code.num_data_qubits();
+        for zi in 0..code.num_measure_z() {
+            let z = PauliString::from_support(n, code.z_stabilizer(zi), Pauli::Z);
+            for xi in 0..code.num_measure_x() {
+                assert!(
+                    !z.anticommutes_on(code.x_stabilizer(xi), Pauli::X),
+                    "Z {zi} vs X {xi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_qubit_covered_by_both_types() {
+        let code = RotatedSurfaceCode::new(7).unwrap();
+        for q in 0..code.num_data_qubits() {
+            let z_count = (0..code.num_measure_z())
+                .filter(|&i| code.z_stabilizer(i).contains(&q))
+                .count();
+            let x_count = (0..code.num_measure_x())
+                .filter(|&i| code.x_stabilizer(i).contains(&q))
+                .count();
+            assert!((1..=2).contains(&z_count), "qubit {q}: {z_count} Z stabs");
+            assert!((1..=2).contains(&x_count), "qubit {q}: {x_count} X stabs");
+        }
+    }
+
+    #[test]
+    fn logical_operators_valid() {
+        let code = RotatedSurfaceCode::new(5).unwrap();
+        let n = code.num_data_qubits();
+        let lx = PauliString::from_support(n, code.logical_x_support(), Pauli::X);
+        let lz = PauliString::from_support(n, code.logical_z_support(), Pauli::Z);
+        assert!(code.extract_syndrome(&lx).is_trivial());
+        assert!(code.extract_syndrome(&lz).is_trivial());
+        assert_eq!(code.logical_x_support().len(), 5);
+        assert_eq!(code.logical_z_support().len(), 5);
+        // They anticommute (share only the corner).
+        let f = code.logical_failure(&lx);
+        assert!(f.x && !f.z);
+    }
+
+    #[test]
+    fn paper_core_matches_25_7_example() {
+        let code = RotatedSurfaceCode::new(5).unwrap();
+        assert_eq!(code.num_data_qubits(), 25);
+        let core = code.paper_core();
+        assert_eq!(core.len(), 7); // 2d - 3
+        let partition = code.paper_partition();
+        assert_eq!(partition.num_core(), 7);
+        assert_eq!(partition.num_support(), 18);
+    }
+
+    #[test]
+    fn paper_core_blocks_every_straight_axis() {
+        let code = RotatedSurfaceCode::new(7).unwrap();
+        let core = code.paper_core();
+        let d = code.distance();
+        // Every column (vertical logical-X axis) holds a core qubit.
+        for c in 0..d {
+            assert!(
+                (0..d).any(|r| core.contains(&(r * d + c))),
+                "column {c} unprotected"
+            );
+        }
+        // Every interior row (horizontal logical-Z axis) holds one; the
+        // top/bottom rows are protected by the middle column crossing them.
+        for r in 0..d {
+            assert!(
+                (0..d).any(|c| core.contains(&(r * d + c))),
+                "row {r} unprotected"
+            );
+        }
+    }
+
+    #[test]
+    fn single_errors_are_detected() {
+        let code = RotatedSurfaceCode::new(5).unwrap();
+        let n = code.num_data_qubits();
+        for q in 0..n {
+            for op in [Pauli::X, Pauli::Z, Pauli::Y] {
+                let mut e = PauliString::identity(n);
+                e.set(q, op);
+                assert!(
+                    !code.extract_syndrome(&e).is_trivial(),
+                    "{op} on qubit {q} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_correction_succeeds() {
+        let code = RotatedSurfaceCode::new(3).unwrap();
+        let mut e = PauliString::identity(9);
+        e.set(4, Pauli::Y);
+        assert!(code.score_correction(&e, &e).is_success());
+    }
+
+    #[test]
+    fn edges_reference_containing_stabilizers() {
+        let code = RotatedSurfaceCode::new(5).unwrap();
+        for q in 0..code.num_data_qubits() {
+            for (edge, stabs) in [
+                (code.z_edge(q), &code.z_stabilizers),
+                (code.x_edge(q), &code.x_stabilizers),
+            ] {
+                for end in [edge.0, edge.1] {
+                    if let EdgeEnd::Check(i) = end {
+                        assert!(stabs[i].contains(&q));
+                    }
+                }
+            }
+        }
+    }
+}

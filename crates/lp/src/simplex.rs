@@ -1,0 +1,484 @@
+//! Dense two-phase simplex.
+//!
+//! The solver converts the bounded-variable program to standard form
+//! (shifted variables, slack/surplus columns, upper bounds as extra rows),
+//! runs phase 1 with artificial variables to find a basic feasible point,
+//! then phase 2 on the true objective. Pivoting uses Dantzig's rule with a
+//! Bland fallback after a configurable number of iterations so degenerate
+//! routing programs cannot cycle.
+
+use crate::problem::{ConstraintOp, Direction, LinearProgram};
+use crate::{LpError, Solution};
+
+const EPS: f64 = 1e-9;
+
+/// Solves `lp` in the given direction.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+/// [`LpError::IterationLimit`] if the pivot budget is exhausted.
+pub fn solve(lp: &LinearProgram, direction: Direction) -> Result<Solution, LpError> {
+    let n = lp.num_vars();
+    if n == 0 {
+        return Ok(Solution {
+            objective: 0.0,
+            values: Vec::new(),
+        });
+    }
+
+    // Shifted variables y = x - l ≥ 0. Variables with a zero-width range
+    // (upper == lower — routing formulations pin hundreds of forbidden
+    // edge flows this way) are *fixed*: their column is zeroed and no
+    // bound row is emitted, which keeps the tableau small.
+    let fixed: Vec<bool> = (0..n).map(|i| lp.upper[i] - lp.lower[i] <= 0.0).collect();
+
+    // Build the row list: every original constraint plus one
+    // `y_i ≤ u_i - l_i` row per finite, non-degenerate upper bound.
+    struct Row {
+        coeffs: Vec<f64>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(lp.num_constraints());
+    for c in &lp.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(i, co) in &c.terms {
+            if !fixed[i] {
+                coeffs[i] += co;
+            }
+            shift += co * lp.lower[i];
+        }
+        rows.push(Row {
+            coeffs,
+            op: c.op,
+            rhs: c.rhs - shift,
+        });
+    }
+    for i in 0..n {
+        if lp.upper[i].is_finite() && !fixed[i] {
+            let range = lp.upper[i] - lp.lower[i];
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                op: ConstraintOp::Le,
+                rhs: range,
+            });
+        }
+    }
+
+    // Normalize to non-negative rhs.
+    for r in rows.iter_mut() {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            for c in r.coeffs.iter_mut() {
+                *c = -*c;
+            }
+            r.op = match r.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [y (n)] [slack/surplus (m at most)] [artificials] [rhs]
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    for r in &rows {
+        match r.op {
+            ConstraintOp::Le => num_slack += 1,
+            ConstraintOp::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            ConstraintOp::Eq => num_art += 1,
+        }
+    }
+    let total = n + num_slack + num_art;
+    let rhs_col = total;
+    let mut tableau = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::with_capacity(num_art);
+
+    let mut next_slack = n;
+    let mut next_art = n + num_slack;
+    for (ri, r) in rows.iter().enumerate() {
+        tableau[ri][..n].copy_from_slice(&r.coeffs);
+        tableau[ri][rhs_col] = r.rhs;
+        match r.op {
+            ConstraintOp::Le => {
+                tableau[ri][next_slack] = 1.0;
+                basis[ri] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintOp::Ge => {
+                tableau[ri][next_slack] = -1.0;
+                next_slack += 1;
+                tableau[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+            ConstraintOp::Eq => {
+                tableau[ri][next_art] = 1.0;
+                basis[ri] = next_art;
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+    }
+
+    let max_iters = 200 * (m + total) + 1000;
+    let bland_after = 20 * (m + total) + 200;
+
+    // Phase 1: minimize the sum of artificials.
+    if num_art > 0 {
+        let mut cost = vec![0.0; total + 1];
+        for &a in &art_cols {
+            cost[a] = 1.0;
+        }
+        // Price out the basic artificials.
+        for ri in 0..m {
+            if art_cols.contains(&basis[ri]) {
+                for j in 0..=total {
+                    cost[j] -= tableau[ri][j];
+                }
+            }
+        }
+        run_simplex(&mut tableau, &mut basis, &mut cost, rhs_col, max_iters, bland_after)?;
+        let phase1_obj = -cost[rhs_col];
+        if phase1_obj > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot remaining artificials out of the basis (degenerate rows).
+        for ri in 0..m {
+            if art_cols.contains(&basis[ri]) {
+                let pivot_col = (0..n + num_slack).find(|&j| tableau[ri][j].abs() > EPS);
+                match pivot_col {
+                    Some(j) => pivot(&mut tableau, &mut basis, ri, j, rhs_col),
+                    None => {
+                        // Redundant row: zero it (keeps indices stable).
+                        for j in 0..=total {
+                            tableau[ri][j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        // Forbid artificials from re-entering by erasing their columns.
+        for &a in &art_cols {
+            for row in tableau.iter_mut() {
+                row[a] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: the true objective. Internally minimize; maximization
+    // negates the cost vector.
+    let sign = match direction {
+        Direction::Maximize => -1.0,
+        Direction::Minimize => 1.0,
+    };
+    let mut cost = vec![0.0; total + 1];
+    for i in 0..n {
+        // Fixed variables never enter the basis: zero cost, zero column.
+        if !fixed[i] {
+            cost[i] = sign * lp.objective[i];
+        }
+    }
+    // Artificials keep zero cost but their columns are erased above.
+    for ri in 0..m {
+        let b = basis[ri];
+        if b != usize::MAX && cost[b].abs() > 0.0 {
+            let c = cost[b];
+            for j in 0..=total {
+                cost[j] -= c * tableau[ri][j];
+            }
+        }
+    }
+    run_simplex(&mut tableau, &mut basis, &mut cost, rhs_col, max_iters, bland_after)?;
+
+    // Extract the solution.
+    let mut y = vec![0.0; total];
+    for ri in 0..m {
+        let b = basis[ri];
+        if b != usize::MAX && b < total {
+            y[b] = tableau[ri][rhs_col];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|i| lp.lower[i] + y[i]).collect();
+    Ok(Solution {
+        objective: lp.objective_value(&values),
+        values,
+    })
+}
+
+/// Runs simplex iterations until optimality.
+///
+/// `cost` is the current reduced-cost row for a *minimization*; entry
+/// `cost[rhs]` tracks the negated objective value.
+fn run_simplex(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &mut [f64],
+    rhs_col: usize,
+    max_iters: usize,
+    bland_after: usize,
+) -> Result<(), LpError> {
+    let m = tableau.len();
+    for iter in 0..max_iters {
+        let use_bland = iter >= bland_after;
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        let mut enter = usize::MAX;
+        let mut best = -EPS;
+        for j in 0..rhs_col {
+            let c = cost[j];
+            if c < best {
+                enter = j;
+                if use_bland {
+                    break;
+                }
+                best = c;
+            }
+        }
+        if enter == usize::MAX {
+            return Ok(());
+        }
+        // Ratio test.
+        let mut leave = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for ri in 0..m {
+            let a = tableau[ri][enter];
+            if a > EPS {
+                let ratio = tableau[ri][rhs_col] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && (leave == usize::MAX || basis[ri] < basis[leave]));
+                if better {
+                    best_ratio = ratio;
+                    leave = ri;
+                }
+            }
+        }
+        if leave == usize::MAX {
+            return Err(LpError::Unbounded);
+        }
+        pivot_with_cost(tableau, basis, cost, leave, enter, rhs_col);
+    }
+    Err(LpError::IterationLimit)
+}
+
+fn pivot_with_cost(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &mut [f64],
+    leave: usize,
+    enter: usize,
+    rhs_col: usize,
+) {
+    pivot(tableau, basis, leave, enter, rhs_col);
+    let factor = cost[enter];
+    if factor.abs() > 0.0 {
+        for j in 0..=rhs_col {
+            cost[j] -= factor * tableau[leave][j];
+        }
+        cost[enter] = 0.0;
+    }
+}
+
+fn pivot(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    leave: usize,
+    enter: usize,
+    rhs_col: usize,
+) {
+    let p = tableau[leave][enter];
+    debug_assert!(p.abs() > EPS, "pivot on near-zero element");
+    let inv = 1.0 / p;
+    for j in 0..=rhs_col {
+        tableau[leave][j] *= inv;
+    }
+    tableau[leave][enter] = 1.0;
+    for ri in 0..tableau.len() {
+        if ri == leave {
+            continue;
+        }
+        let f = tableau[ri][enter];
+        if f.abs() > 0.0 {
+            for j in 0..=rhs_col {
+                tableau[ri][j] -= f * tableau[leave][j];
+            }
+            tableau[ri][enter] = 0.0;
+        }
+    }
+    basis[leave] = enter;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConstraintOp, LinearProgram, LpError};
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0, 0.0, f64::INFINITY);
+        let y = lp.add_var(5.0, 0.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
+        lp.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let s = lp.maximize().unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-7);
+        assert!((s.values[0] - 2.0).abs() < 1e-7);
+        assert!((s.values[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + 2y = 4, x ≥ 1 → (1, 1.5), z = 2.5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        let y = lp.add_var(1.0, 0.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
+        let s = lp.minimize().unwrap();
+        assert!((s.objective - 2.5).abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.values[0] - 1.0).abs() < 1e-7);
+        assert!((s.values[1] - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + y with x ∈ [0, 2], y ∈ [1, 3], x + y ≤ 4 → (2, 2) or
+        // (1, 3): objective 4 either way... x+y ≤ 4 binds: z = 4.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 2.0);
+        let y = lp.add_var(1.0, 1.0, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        let s = lp.maximize().unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-7);
+        assert!(lp.is_feasible(&s.values, 1e-7));
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x with x ≥ 2 via bounds only.
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_var(1.0, 2.0, f64::INFINITY);
+        let s = lp.minimize().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y with x ∈ [-5, 5], y ∈ [-1, ∞), x + y ≥ -3 → (-5, 2)?
+        // x+y ≥ -3 with both minimized: x = -5 forces y ≥ 2... wait
+        // y ≥ -1 and x + y ≥ -3 → y ≥ -3 - x. At x=-5, y ≥ 2: cost -3.
+        // At x=-2, y=-1: cost -3. Optimum is -3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, -5.0, 5.0);
+        let y = lp.add_var(1.0, -1.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, -3.0);
+        let s = lp.minimize().unwrap();
+        assert!((s.objective + 3.0).abs() < 1e-7, "objective {}", s.objective);
+        assert!(lp.is_feasible(&s.values, 1e-7));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(lp.maximize().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        assert_eq!(lp.maximize().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bounded_by_variable_bounds_not_unbounded() {
+        let mut lp = LinearProgram::new();
+        let _x = lp.add_var(1.0, 0.0, 7.5);
+        let s = lp.maximize().unwrap();
+        assert!((s.objective - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        let y = lp.add_var(1.0, 0.0, f64::INFINITY);
+        for _ in 0..5 {
+            lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
+        }
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 1.0);
+        let s = lp.maximize().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_handled() {
+        // x + y = 2 stated twice plus x - y = 0 → x = y = 1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        let y = lp.add_var(2.0, 0.0, f64::INFINITY);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 0.0);
+        let s = lp.maximize().unwrap();
+        assert!((s.values[0] - 1.0).abs() < 1e-7);
+        assert!((s.values[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn empty_program_is_trivial() {
+        let lp = LinearProgram::new();
+        let s = lp.maximize().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalize() {
+        // -x ≤ -2  ⟺  x ≥ 2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 10.0);
+        lp.add_constraint(&[(x, -1.0)], ConstraintOp::Le, -2.0);
+        let s = lp.minimize().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn small_network_flow() {
+        // Max flow 0→2 on: cap(0→1)=3, cap(1→2)=2, cap(0→2)=2 → 4.
+        let mut lp = LinearProgram::new();
+        let f01 = lp.add_var(0.0, 0.0, 3.0);
+        let f12 = lp.add_var(0.0, 0.0, 2.0);
+        let f02 = lp.add_var(1.0, 0.0, 2.0); // objective counts arrivals
+        let _ = f02;
+        // Conservation at node 1: f01 = f12.
+        lp.add_constraint(&[(f01, 1.0), (f12, -1.0)], ConstraintOp::Eq, 0.0);
+        // Objective: maximize f12 + f02; encode by giving both weight 1.
+        let mut lp2 = LinearProgram::new();
+        let f01 = lp2.add_var(0.0, 0.0, 3.0);
+        let f12 = lp2.add_var(1.0, 0.0, 2.0);
+        let f02 = lp2.add_var(1.0, 0.0, 2.0);
+        lp2.add_constraint(&[(f01, 1.0), (f12, -1.0)], ConstraintOp::Eq, 0.0);
+        let s = lp2.maximize().unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-7);
+        let _ = f02;
+    }
+}

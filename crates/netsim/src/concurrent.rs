@@ -1,0 +1,322 @@
+//! Concurrent online execution: every scheduled transfer runs in the same
+//! tick loop and **contends for shared entanglement generation**.
+//!
+//! [`crate::execution::execute_plan`] executes one transfer against private
+//! entanglement sources — adequate for fidelity statistics, optimistic for
+//! latency. This module models the contention the paper's capacity
+//! constraints anticipate: each fiber owns one pair source producing at the
+//! configured rate into a bounded pool (`η_e` pairs), and all Core parts
+//! crossing that fiber drain the same pool. Requests are served round-robin
+//! with a rotating head so no transfer starves.
+
+use crate::execution::{ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
+use crate::entanglement::core_segment_fidelity;
+use crate::topology::Network;
+use rand::Rng;
+
+/// Per-transfer progress through its plan.
+#[derive(Debug)]
+struct TransferState {
+    /// Which segment is in flight.
+    segment: usize,
+    /// Fibers crossed by the Core part within the current segment's core
+    /// route (`None` when the segment rides the plain channel only).
+    core_pos: usize,
+    /// Whether the Support part has finished the current segment
+    /// (photon transit takes `route.len()` ticks from segment start).
+    support_arrival: u64,
+    /// Tick at which the current segment started.
+    segment_start: u64,
+    /// Accumulated per-segment records.
+    segments_done: Vec<SegmentOutcome>,
+    /// Completion/failure flags.
+    finished: bool,
+    failed: bool,
+    /// Total latency when finished.
+    total_ticks: u64,
+}
+
+/// Executes all `plans` concurrently; returns one outcome per plan, in
+/// order.
+///
+/// Fiber pair pools start empty, are refilled by per-tick Bernoulli
+/// generation (probability [`ExecutionConfig::entanglement_rate`]) up to
+/// the fiber's `entanglement_capacity`, and are drained by Core parts
+/// performing opportunistic hops of at least
+/// [`ExecutionConfig::min_advance`] fibers.
+///
+/// # Panics
+///
+/// Panics if a plan references fibers outside `net`.
+pub fn execute_concurrently<R: Rng + ?Sized>(
+    net: &Network,
+    plans: &[TransferPlan],
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> Vec<ExecutionOutcome> {
+    let mut pools: Vec<u32> = vec![0; net.num_fibers()];
+    let mut states: Vec<TransferState> = plans
+        .iter()
+        .map(|p| {
+            assert!(!p.segments.is_empty(), "plan has no segments");
+            TransferState {
+                segment: 0,
+                core_pos: 0,
+                support_arrival: p.segments[0].support_route.len() as u64,
+                segment_start: 0,
+                segments_done: Vec::new(),
+                finished: false,
+                failed: false,
+                total_ticks: 0,
+            }
+        })
+        .collect();
+
+    let mut tick: u64 = 0;
+    while tick < config.max_ticks && states.iter().any(|s| !s.finished && !s.failed) {
+        tick += 1;
+        // Refill pair pools.
+        for (f, pool) in pools.iter_mut().enumerate() {
+            let cap = net.fiber(f).entanglement_capacity;
+            if *pool < cap && rng.gen::<f64>() < config.entanglement_rate {
+                *pool += 1;
+            }
+        }
+        // Rotating round-robin: the transfer served first changes each tick.
+        let n = states.len();
+        if n == 0 {
+            break;
+        }
+        let head = (tick as usize) % n;
+        for off in 0..n {
+            let i = (head + off) % n;
+            if states[i].finished || states[i].failed {
+                continue;
+            }
+            step_transfer(net, &plans[i], &mut states[i], &mut pools, config, tick);
+        }
+    }
+
+    states
+        .into_iter()
+        .map(|s| {
+            let completed = s.finished && !s.failed;
+            ExecutionOutcome {
+                completed,
+                latency: if completed { s.total_ticks } else { tick },
+                segments: s.segments_done,
+            }
+        })
+        .collect()
+}
+
+/// Advances one transfer by one tick.
+fn step_transfer(
+    net: &Network,
+    plan: &TransferPlan,
+    state: &mut TransferState,
+    pools: &mut [u32],
+    config: &ExecutionConfig,
+    tick: u64,
+) {
+    let seg = &plan.segments[state.segment];
+    // Core part: opportunistic hops over pooled pairs.
+    let core_done = match &seg.core_route {
+        Some(route) => {
+            if state.core_pos < route.len() {
+                // Longest prefix of fibers ahead with available pairs.
+                let mut run = 0;
+                while state.core_pos + run < route.len() && pools[route[state.core_pos + run]] > 0
+                {
+                    run += 1;
+                }
+                let needed = config.min_advance.min(route.len() - state.core_pos);
+                if run >= needed {
+                    for k in 0..run {
+                        pools[route[state.core_pos + k]] -= 1;
+                    }
+                    state.core_pos += run;
+                }
+            }
+            state.core_pos >= route.len()
+        }
+        None => true,
+    };
+    let support_done = tick >= state.segment_start + state.support_arrival;
+    if !(core_done && support_done) {
+        return;
+    }
+    // Segment complete (plus one tick for EC when scheduled).
+    let ec_ticks = u64::from(seg.correct_at_end);
+    let seg_ticks = (tick - state.segment_start) + ec_ticks;
+    let support_fidelity = net.path_fidelity(&seg.support_route);
+    let support_erasure_prob = 1.0
+        - seg
+            .support_route
+            .iter()
+            .map(|&f| 1.0 - net.fiber(f).loss_prob)
+            .product::<f64>();
+    let (core_fidelity, core_erasure_prob) = match &seg.core_route {
+        Some(route) => (core_segment_fidelity(net.path_fidelity(route)), 0.0),
+        None => (support_fidelity, support_erasure_prob),
+    };
+    state.segments_done.push(SegmentOutcome {
+        core_fidelity,
+        support_fidelity,
+        support_erasure_prob,
+        core_erasure_prob,
+        ticks: seg_ticks,
+        corrected_at_end: seg.correct_at_end,
+    });
+    state.total_ticks += seg_ticks;
+    state.segment += 1;
+    if state.segment == plan.segments.len() {
+        state.finished = true;
+    } else {
+        state.segment_start = tick + ec_ticks;
+        state.core_pos = 0;
+        state.support_arrival = plan.segments[state.segment].support_route.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{execute_plan, PlannedSegment};
+    use crate::topology::NodeKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// u0 - s1 - S2(server) - u3, entanglement capacity `cap`.
+    fn line_net(cap: u32) -> Network {
+        let mut net = Network::new();
+        let u0 = net.add_node(NodeKind::User, 0);
+        let s1 = net.add_node(NodeKind::Switch, 50);
+        let s2 = net.add_node(NodeKind::Server, 100);
+        let u3 = net.add_node(NodeKind::User, 0);
+        net.add_fiber(u0, s1, 0.9, cap, 0.05).unwrap();
+        net.add_fiber(s1, s2, 0.9, cap, 0.05).unwrap();
+        net.add_fiber(s2, u3, 0.9, cap, 0.05).unwrap();
+        net
+    }
+
+    fn plan() -> TransferPlan {
+        TransferPlan {
+            src: 0,
+            dst: 3,
+            segments: vec![
+                PlannedSegment {
+                    core_route: Some(vec![0, 1]),
+                    support_route: vec![0, 1],
+                    correct_at_end: true,
+                },
+                PlannedSegment {
+                    core_route: Some(vec![2]),
+                    support_route: vec![2],
+                    correct_at_end: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn single_transfer_matches_independent_fidelities() {
+        let net = line_net(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            ..ExecutionConfig::default()
+        };
+        let concurrent = execute_concurrently(&net, &[plan()], &config, &mut rng);
+        assert_eq!(concurrent.len(), 1);
+        let c = &concurrent[0];
+        assert!(c.completed);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let independent = execute_plan(&net, &plan(), &config, &mut rng);
+        // Fidelity records are route-determined: identical across engines.
+        for (a, b) in c.segments.iter().zip(&independent.segments) {
+            assert_eq!(a.core_fidelity, b.core_fidelity);
+            assert_eq!(a.support_fidelity, b.support_fidelity);
+            assert_eq!(a.support_erasure_prob, b.support_erasure_prob);
+        }
+    }
+
+    #[test]
+    fn contention_slows_transfers_down() {
+        let net = line_net(1); // pools hold one pair at a time
+        let config = ExecutionConfig {
+            entanglement_rate: 0.5,
+            ..ExecutionConfig::default()
+        };
+        let avg_latency = |count: usize, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let plans: Vec<_> = (0..count).map(|_| plan()).collect();
+            let outs = execute_concurrently(&net, &plans, &config, &mut rng);
+            assert!(outs.iter().all(|o| o.completed));
+            outs.iter().map(|o| o.latency).sum::<u64>() as f64 / count as f64
+        };
+        let solo: f64 = (0..20).map(|s| avg_latency(1, 100 + s)).sum::<f64>() / 20.0;
+        let crowded: f64 = (0..20).map(|s| avg_latency(6, 200 + s)).sum::<f64>() / 20.0;
+        assert!(
+            crowded > solo,
+            "contention should raise latency: solo {solo}, crowded {crowded}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_completes_core_transfers() {
+        let net = line_net(4);
+        let config = ExecutionConfig {
+            entanglement_rate: 0.0,
+            max_ticks: 100,
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let outs = execute_concurrently(&net, &[plan()], &config, &mut rng);
+        assert!(!outs[0].completed);
+    }
+
+    #[test]
+    fn plain_only_transfers_ignore_pools() {
+        let net = line_net(4);
+        let raw_plan = TransferPlan {
+            src: 0,
+            dst: 3,
+            segments: vec![PlannedSegment {
+                core_route: None,
+                support_route: vec![0, 1, 2],
+                correct_at_end: false,
+            }],
+        };
+        let config = ExecutionConfig {
+            entanglement_rate: 0.0, // no pairs ever
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let outs = execute_concurrently(&net, &[raw_plan], &config, &mut rng);
+        assert!(outs[0].completed);
+        assert_eq!(outs[0].latency, 3);
+    }
+
+    #[test]
+    fn all_transfers_eventually_finish_under_fairness() {
+        let net = line_net(2);
+        let config = ExecutionConfig {
+            entanglement_rate: 0.6,
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let plans: Vec<_> = (0..8).map(|_| plan()).collect();
+        let outs = execute_concurrently(&net, &plans, &config, &mut rng);
+        assert!(outs.iter().all(|o| o.completed), "a transfer starved");
+    }
+
+    #[test]
+    fn empty_plan_list_is_trivial() {
+        let net = line_net(2);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let outs =
+            execute_concurrently(&net, &[], &ExecutionConfig::default(), &mut rng);
+        assert!(outs.is_empty());
+    }
+}

@@ -1,0 +1,639 @@
+//! Online execution (paper Sec. V-B): tick-based simulation of one
+//! scheduled communication — Support photons over plain channels, Core
+//! qubits over the entanglement channel with opportunistic forwarding,
+//! local recovery paths around failed fibers, and error correction at
+//! scheduled servers.
+//!
+//! Execution is deliberately decoupled from the surface-code machinery: it
+//! produces per-segment fidelity/erasure records ([`SegmentOutcome`]) that
+//! the `surfnet-core` pipeline turns into error models, samples, and
+//! decodes.
+
+use crate::entanglement::{core_segment_fidelity, purify};
+use crate::topology::{FiberId, Network, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One leg of a planned transfer, ending either at a server that performs
+/// error correction or at the destination user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedSegment {
+    /// Route for the Core part over the entanglement-based channel.
+    /// `None` means the Core travels with the Support over the plain
+    /// channel (the Raw baseline has no dual channel).
+    pub core_route: Option<Vec<FiberId>>,
+    /// Route for the Support part over the plain channel. The two routes
+    /// may differ (Fig. 4 routes them independently).
+    pub support_route: Vec<FiberId>,
+    /// Whether error correction runs when this segment completes.
+    pub correct_at_end: bool,
+}
+
+/// A complete transfer plan for one surface code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferPlan {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Consecutive legs; segment `i+1` starts where segment `i` ended.
+    pub segments: Vec<PlannedSegment>,
+}
+
+/// Tunables of the online execution engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Per-tick success probability of one entanglement-generation attempt
+    /// across one fiber (the scenario's entanglement generation rate).
+    pub entanglement_rate: f64,
+    /// Opportunistic-forwarding threshold: the Core part moves as soon as
+    /// this many consecutive fibers hold ready pairs (the paper fixes 2).
+    pub min_advance: usize,
+    /// Give-up horizon per segment, in ticks.
+    pub max_ticks: u64,
+    /// Probability that a fiber is down for the duration of one transfer,
+    /// exercising the local recovery-path mechanism.
+    pub fiber_failure_prob: f64,
+    /// Per-tick fidelity decay of an **unencoded** qubit waiting in
+    /// quantum memory. Surface-code transfers are immune: switches
+    /// re-encode Support photons, DD refreshes stored qubits, and servers
+    /// correct accumulated errors (Secs. IV-A, V-B); teleportation-only
+    /// baselines carry bare data qubits that decohere while entanglement
+    /// is distilled.
+    pub memory_decoherence_rate: f64,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> ExecutionConfig {
+        ExecutionConfig {
+            entanglement_rate: 0.4,
+            min_advance: 2,
+            max_ticks: 10_000,
+            fiber_failure_prob: 0.0,
+            memory_decoherence_rate: 0.015,
+        }
+    }
+}
+
+/// What one executed segment did to the surface code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentOutcome {
+    /// Estimated fidelity `ρ` of each Core qubit over this segment
+    /// (noise halved by purification on the entanglement channel).
+    pub core_fidelity: f64,
+    /// Estimated fidelity of each Support qubit (`Π γᵢ` over its route).
+    pub support_fidelity: f64,
+    /// Per-qubit erasure probability for Support qubits (photon loss).
+    pub support_erasure_prob: f64,
+    /// Per-qubit erasure probability for Core qubits: zero on the
+    /// entanglement channel, equal to the Support value for Raw transfers.
+    pub core_erasure_prob: f64,
+    /// Ticks this segment took (both parts complete, plus EC if any).
+    pub ticks: u64,
+    /// Whether error correction ran at the end of this segment.
+    pub corrected_at_end: bool,
+}
+
+/// The result of executing one transfer plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionOutcome {
+    /// Whether every segment completed within its tick budget.
+    pub completed: bool,
+    /// Total ticks spent (sum over completed segments).
+    pub latency: u64,
+    /// Per-segment records for downstream error modeling.
+    pub segments: Vec<SegmentOutcome>,
+}
+
+/// Executes one transfer plan tick by tick.
+///
+/// # Panics
+///
+/// Panics if a route references a fiber outside `net` or the plan's
+/// segments are empty.
+pub fn execute_plan<R: Rng + ?Sized>(
+    net: &Network,
+    plan: &TransferPlan,
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> ExecutionOutcome {
+    assert!(!plan.segments.is_empty(), "plan has no segments");
+    // Sample per-transfer fiber failures once (crashes persist for the
+    // whole transfer; Sec. V-B).
+    let failed: Vec<bool> = (0..net.num_fibers())
+        .map(|_| rng.gen::<f64>() < config.fiber_failure_prob)
+        .collect();
+
+    let mut outcome = ExecutionOutcome {
+        completed: true,
+        latency: 0,
+        segments: Vec::with_capacity(plan.segments.len()),
+    };
+    let mut cursor = plan.src;
+    for seg in &plan.segments {
+        let support_route =
+            match recover_route(net, cursor, &seg.support_route, &failed) {
+                Some(r) => r,
+                None => {
+                    outcome.completed = false;
+                    break;
+                }
+            };
+        let support_end = *net.walk(cursor, &support_route).last().unwrap();
+
+        // Support photons: one fiber per tick; loss accumulates per hop.
+        let support_ticks = support_route.len() as u64;
+        let support_fidelity = net.path_fidelity(&support_route);
+        let support_erasure_prob = 1.0
+            - support_route
+                .iter()
+                .map(|&f| 1.0 - net.fiber(f).loss_prob)
+                .product::<f64>();
+
+        let (core_fidelity, core_erasure_prob, core_ticks) = match &seg.core_route {
+            Some(route) => {
+                let route = match recover_route(net, cursor, route, &failed) {
+                    Some(r) => r,
+                    None => {
+                        outcome.completed = false;
+                        break;
+                    }
+                };
+                let ticks = advance_core(&route, config, rng);
+                match ticks {
+                    Some(t) => (
+                        core_segment_fidelity(net.path_fidelity(&route)),
+                        0.0,
+                        t,
+                    ),
+                    None => {
+                        outcome.completed = false;
+                        break;
+                    }
+                }
+            }
+            // Raw transfer: the Core rides the plain channel with the
+            // Support — same fidelity, same loss exposure.
+            None => (support_fidelity, support_erasure_prob, support_ticks),
+        };
+
+        let mut ticks = support_ticks.max(core_ticks);
+        if seg.correct_at_end {
+            ticks += 1; // one EC cycle at the server
+        }
+        if ticks > config.max_ticks {
+            outcome.completed = false;
+            break;
+        }
+        outcome.latency += ticks;
+        outcome.segments.push(SegmentOutcome {
+            core_fidelity,
+            support_fidelity,
+            support_erasure_prob,
+            core_erasure_prob,
+            ticks,
+            corrected_at_end: seg.correct_at_end,
+        });
+        cursor = support_end;
+    }
+    if outcome.completed {
+        debug_assert_eq!(cursor, plan.dst, "plan segments do not reach dst");
+    }
+    outcome
+}
+
+/// Simulates the Core part moving along `route` with opportunistic
+/// forwarding (Sec. V-B): each tick every unconsumed fiber ahead attempts
+/// pair generation; the part advances over the longest ready prefix of at
+/// least `min_advance` fibers (or whatever remains). Returns ticks used,
+/// or `None` on timeout.
+fn advance_core<R: Rng + ?Sized>(
+    route: &[FiberId],
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> Option<u64> {
+    let len = route.len();
+    if len == 0 {
+        return Some(0);
+    }
+    let mut ready = vec![false; len];
+    let mut pos = 0usize; // fibers 0..pos already crossed
+    for tick in 1..=config.max_ticks {
+        for r in ready.iter_mut().skip(pos) {
+            if !*r && rng.gen::<f64>() < config.entanglement_rate {
+                *r = true;
+            }
+        }
+        // Longest ready run starting at pos.
+        let mut run = 0;
+        while pos + run < len && ready[pos + run] {
+            run += 1;
+        }
+        let needed = config.min_advance.min(len - pos);
+        if run >= needed {
+            // Consume the pairs (teleportation + swapping) and advance.
+            pos += run;
+            if pos == len {
+                return Some(tick);
+            }
+        }
+    }
+    None
+}
+
+/// Replaces failed fibers on `route` with local detours: for each failed
+/// fiber, the shortest working path between its endpoints (the paper's
+/// recovery paths). Returns `None` when no detour exists.
+fn recover_route(
+    net: &Network,
+    start: NodeId,
+    route: &[FiberId],
+    failed: &[bool],
+) -> Option<Vec<FiberId>> {
+    if route.iter().all(|&f| !failed[f]) {
+        return Some(route.to_vec());
+    }
+    let mut out = Vec::with_capacity(route.len());
+    let mut cur = start;
+    for &f in route {
+        let next = net.fiber(f).other(cur);
+        if failed[f] {
+            let detour = net.shortest_path_by(cur, next, |fb| {
+                let id = net.fiber_between(fb.a, fb.b).expect("fiber exists");
+                if failed[id] {
+                    f64::INFINITY
+                } else {
+                    fb.noise() + 1e-6
+                }
+            })?;
+            if detour.iter().any(|&d| failed[d]) {
+                return None;
+            }
+            out.extend(detour);
+        } else {
+            out.push(f);
+        }
+        cur = next;
+    }
+    Some(out)
+}
+
+/// Outcome of one hop-by-hop teleportation transfer (the Purification-N
+/// baselines: no surface codes, every data qubit teleported with `n`
+/// purification rounds per fiber).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TeleportOutcome {
+    /// Whether the transfer finished within the tick budget.
+    pub completed: bool,
+    /// Ticks spent waiting for entanglement.
+    pub latency: u64,
+    /// Delivered fidelity: product over hops of the purified pair
+    /// fidelities.
+    pub fidelity: f64,
+}
+
+/// Executes a pure-teleportation transfer along `route` with `n_purify`
+/// rounds of entanglement pumping per fiber.
+///
+/// Purification is **probabilistic** (BBPSSW-style): each round succeeds
+/// with probability `ρ₁ρ₂ + (1−ρ₁)(1−ρ₂)`; a failed round destroys both
+/// pairs and restarts the pump from a fresh raw pair (Briegel pumping).
+/// The paper's scheduling model budgets the expected minimum of
+/// `n_purify + 1` pairs per fiber; this executor additionally charges the
+/// waiting time, during which the unencoded message qubit decoheres at
+/// [`ExecutionConfig::memory_decoherence_rate`].
+///
+/// # Panics
+///
+/// Panics if a fiber id is out of range.
+pub fn execute_teleportation<R: Rng + ?Sized>(
+    net: &Network,
+    route: &[FiberId],
+    n_purify: u32,
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> TeleportOutcome {
+    let mut latency = 0u64;
+    let mut fidelity = 1.0f64;
+    // Waits for one raw pair; returns false on timeout.
+    let wait_for_pair = |ticks: &mut u64, rng: &mut R| -> bool {
+        loop {
+            *ticks += 1;
+            if *ticks > config.max_ticks {
+                return false;
+            }
+            if rng.gen::<f64>() < config.entanglement_rate {
+                return true;
+            }
+        }
+    };
+    for &f in route {
+        let fiber = net.fiber(f);
+        let raw = fiber.fidelity;
+        let mut ticks = 0u64;
+        let fail = TeleportOutcome {
+            completed: false,
+            latency: 0,
+            fidelity: 0.0,
+        };
+        if !wait_for_pair(&mut ticks, rng) {
+            return TeleportOutcome { latency: latency + ticks, ..fail };
+        }
+        let mut rho = raw;
+        let mut rounds = 0u32;
+        while rounds < n_purify {
+            if !wait_for_pair(&mut ticks, rng) {
+                return TeleportOutcome { latency: latency + ticks, ..fail };
+            }
+            let success_prob = rho * raw + (1.0 - rho) * (1.0 - raw);
+            if rng.gen::<f64>() < success_prob {
+                rho = purify(rho, raw);
+                rounds += 1;
+            } else {
+                // Both pairs are destroyed; restart the pump.
+                if !wait_for_pair(&mut ticks, rng) {
+                    return TeleportOutcome { latency: latency + ticks, ..fail };
+                }
+                rho = raw;
+                rounds = 0;
+            }
+        }
+        latency += ticks;
+        fidelity *= rho;
+    }
+    // The bare message qubit decoheres in memory for the whole wait.
+    fidelity *= (1.0 - config.memory_decoherence_rate).powf(latency as f64);
+    TeleportOutcome {
+        completed: true,
+        latency,
+        fidelity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entanglement::purify_n;
+    use crate::topology::NodeKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// u0 - s1 - s2(server) - u3 with uniform fidelity 0.9, loss 0.1.
+    fn line_net() -> Network {
+        let mut net = Network::new();
+        let u0 = net.add_node(NodeKind::User, 0);
+        let s1 = net.add_node(NodeKind::Switch, 50);
+        let s2 = net.add_node(NodeKind::Server, 100);
+        let u3 = net.add_node(NodeKind::User, 0);
+        net.add_fiber(u0, s1, 0.9, 8, 0.1).unwrap();
+        net.add_fiber(s1, s2, 0.9, 8, 0.1).unwrap();
+        net.add_fiber(s2, u3, 0.9, 8, 0.1).unwrap();
+        net
+    }
+
+    fn two_segment_plan() -> TransferPlan {
+        TransferPlan {
+            src: 0,
+            dst: 3,
+            segments: vec![
+                PlannedSegment {
+                    core_route: Some(vec![0, 1]),
+                    support_route: vec![0, 1],
+                    correct_at_end: true,
+                },
+                PlannedSegment {
+                    core_route: Some(vec![2]),
+                    support_route: vec![2],
+                    correct_at_end: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_executes_with_expected_fidelities() {
+        let net = line_net();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            ..ExecutionConfig::default()
+        };
+        let out = execute_plan(&net, &two_segment_plan(), &config, &mut rng);
+        assert!(out.completed);
+        assert_eq!(out.segments.len(), 2);
+        let s0 = &out.segments[0];
+        assert!((s0.support_fidelity - 0.81).abs() < 1e-12);
+        assert!((s0.core_fidelity - 0.9).abs() < 1e-12); // sqrt(0.81)
+        assert!((s0.support_erasure_prob - (1.0 - 0.81)).abs() < 1e-12);
+        assert_eq!(s0.core_erasure_prob, 0.0);
+        assert!(s0.corrected_at_end);
+        assert!(out.latency >= 3);
+    }
+
+    #[test]
+    fn raw_plan_shares_channel_and_loss() {
+        let net = line_net();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let plan = TransferPlan {
+            src: 0,
+            dst: 3,
+            segments: vec![PlannedSegment {
+                core_route: None,
+                support_route: vec![0, 1, 2],
+                correct_at_end: false,
+            }],
+        };
+        let out = execute_plan(&net, &plan, &ExecutionConfig::default(), &mut rng);
+        assert!(out.completed);
+        let s = &out.segments[0];
+        assert_eq!(s.core_fidelity, s.support_fidelity);
+        assert_eq!(s.core_erasure_prob, s.support_erasure_prob);
+        // Plain-channel transfer is deterministic: one tick per fiber.
+        assert_eq!(out.latency, 3);
+    }
+
+    #[test]
+    fn low_entanglement_rate_increases_latency() {
+        let net = line_net();
+        let config_fast = ExecutionConfig {
+            entanglement_rate: 1.0,
+            ..ExecutionConfig::default()
+        };
+        let config_slow = ExecutionConfig {
+            entanglement_rate: 0.1,
+            ..ExecutionConfig::default()
+        };
+        let avg = |config: &ExecutionConfig, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut total = 0u64;
+            for _ in 0..50 {
+                let out = execute_plan(&net, &two_segment_plan(), config, &mut rng);
+                assert!(out.completed);
+                total += out.latency;
+            }
+            total as f64 / 50.0
+        };
+        assert!(avg(&config_slow, 3) > avg(&config_fast, 3));
+    }
+
+    #[test]
+    fn zero_rate_times_out() {
+        let net = line_net();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let config = ExecutionConfig {
+            entanglement_rate: 0.0,
+            max_ticks: 50,
+            ..ExecutionConfig::default()
+        };
+        let out = execute_plan(&net, &two_segment_plan(), &config, &mut rng);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn failed_fiber_takes_recovery_path() {
+        // Square: 0-1, 1-3, 0-2, 2-3. Route via fiber 0 (0-1) and 1 (1-3);
+        // failing fiber 0 must detour 0-2-3-1? No: detour replaces fiber 0
+        // (0→1) by 0-2, 2-3, 3-1... but there is no 3-1 fiber; build one.
+        let mut net = Network::new();
+        let n0 = net.add_node(NodeKind::User, 0);
+        let n1 = net.add_node(NodeKind::Switch, 10);
+        let n2 = net.add_node(NodeKind::Switch, 10);
+        let n3 = net.add_node(NodeKind::User, 0);
+        let f01 = net.add_fiber(n0, n1, 0.9, 4, 0.0).unwrap();
+        let f13 = net.add_fiber(n1, n3, 0.9, 4, 0.0).unwrap();
+        let f02 = net.add_fiber(n0, n2, 0.9, 4, 0.0).unwrap();
+        let f21 = net.add_fiber(n2, n1, 0.9, 4, 0.0).unwrap();
+        let _ = (f02, f21);
+        let failed = vec![true, false, false, false];
+        let recovered = recover_route(&net, n0, &[f01, f13], &failed).unwrap();
+        assert_eq!(recovered, vec![f02, f21, f13]);
+    }
+
+    #[test]
+    fn unrecoverable_failure_aborts() {
+        let net = line_net(); // tree: no alternative routes
+        let mut rng = SmallRng::seed_from_u64(5);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            fiber_failure_prob: 1.0, // everything down
+            ..ExecutionConfig::default()
+        };
+        let out = execute_plan(&net, &two_segment_plan(), &config, &mut rng);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn opportunistic_forwarding_uses_min_advance() {
+        // With rate 1.0 all pairs are ready at tick 1: the core jumps the
+        // whole 2-fiber route in one tick.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            ..ExecutionConfig::default()
+        };
+        assert_eq!(advance_core(&[0, 1], &config, &mut rng), Some(1));
+        // A single-fiber route is allowed to advance with one pair.
+        assert_eq!(advance_core(&[0], &config, &mut rng), Some(1));
+        // Empty route: nothing to do.
+        assert_eq!(advance_core(&[], &config, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn teleportation_without_purification_is_deterministic() {
+        let net = line_net();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            memory_decoherence_rate: 0.0,
+            ..ExecutionConfig::default()
+        };
+        let out = execute_teleportation(&net, &[0, 1, 2], 0, &config, &mut rng);
+        assert!(out.completed);
+        // No purification: the delivered fidelity is the plain product and
+        // one pair per hop arrives per tick at rate 1.0.
+        assert!((out.fidelity - 0.9f64.powi(3)).abs() < 1e-12);
+        assert_eq!(out.latency, 3);
+    }
+
+    #[test]
+    fn teleportation_decoheres_while_waiting() {
+        let net = line_net();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            memory_decoherence_rate: 0.01,
+            ..ExecutionConfig::default()
+        };
+        let out = execute_teleportation(&net, &[0, 1, 2], 0, &config, &mut rng);
+        assert!(out.completed);
+        let want = 0.9f64.powi(3) * 0.99f64.powi(3);
+        assert!((out.fidelity - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purification_rounds_improve_pair_fidelity_on_average() {
+        // Statistically, successful pumping must deliver at least the
+        // plain product and at most the ideal purify_n bound.
+        let net = line_net();
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            memory_decoherence_rate: 0.0,
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut total = 0.0;
+        let trials = 300;
+        for _ in 0..trials {
+            let out = execute_teleportation(&net, &[0, 1, 2], 2, &config, &mut rng);
+            assert!(out.completed);
+            total += out.fidelity;
+        }
+        let mean = total / trials as f64;
+        assert!(mean > 0.9f64.powi(3), "mean {mean} not above raw product");
+        assert!(mean <= purify_n(0.9, 2).powi(3) + 1e-9);
+    }
+
+    #[test]
+    fn heavy_purification_can_lose_to_decoherence() {
+        // The trade-off the paper's Sec. I motivates: distilling more
+        // pairs takes longer, and the unencoded message decoheres while it
+        // waits. At slow generation rates N=9 ends up *worse* than N=1.
+        let net = line_net();
+        let config = ExecutionConfig {
+            entanglement_rate: 0.3,
+            memory_decoherence_rate: 0.01,
+            ..ExecutionConfig::default()
+        };
+        let avg = |n: u32| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let out = execute_teleportation(&net, &[0, 1, 2], n, &config, &mut rng);
+                assert!(out.completed);
+                total += out.fidelity;
+            }
+            total / 200.0
+        };
+        assert!(avg(9) < avg(1));
+    }
+
+    #[test]
+    fn teleportation_latency_grows_with_purification() {
+        let net = line_net();
+        let config = ExecutionConfig {
+            entanglement_rate: 0.5,
+            ..ExecutionConfig::default()
+        };
+        let avg = |n: u32| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            let mut total = 0u64;
+            for _ in 0..100 {
+                let out = execute_teleportation(&net, &[0, 1, 2], n, &config, &mut rng);
+                assert!(out.completed);
+                total += out.latency;
+            }
+            total as f64 / 100.0
+        };
+        assert!(avg(9) > avg(1));
+    }
+}

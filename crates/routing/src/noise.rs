@@ -1,0 +1,98 @@
+//! Noise accounting (paper Sec. V-A).
+//!
+//! Fidelity products become noise sums through `μ = ln(1/γ)`. For one
+//! surface code routed with its Core over the entanglement channel and its
+//! Support over the plain channel, with `x` error corrections at servers:
+//!
+//! * Core-part noise: `Σ_core μ − ω·x` (must stay in `[0, W_c]`),
+//! * whole-code noise:
+//!   `(n/(n+m))·½·Σ_core μ + (m/(n+m))·Σ_support μ − ω·x` (must stay
+//!   `≤ W`), where the ½ credits entanglement purification on the Core
+//!   channel.
+
+use crate::params::RoutingParams;
+
+/// Core-part expected noise for one surface code: `Σ μ_core − ω·x`.
+pub fn core_noise(core_route_noise: f64, corrections: u32, params: &RoutingParams) -> f64 {
+    core_route_noise - params.omega * corrections as f64
+}
+
+/// Whole-code expected noise for one surface code (see module docs).
+pub fn total_noise(
+    core_route_noise: f64,
+    support_route_noise: f64,
+    corrections: u32,
+    params: &RoutingParams,
+) -> f64 {
+    let n = params.n_core as f64;
+    let m = params.m_support as f64;
+    let size = n + m;
+    (n / size) * 0.5 * core_route_noise + (m / size) * support_route_noise
+        - params.omega * corrections as f64
+}
+
+/// Whether a code with the given accumulated noises satisfies both noise
+/// constraints of Eq. 6.
+pub fn within_thresholds(
+    core_route_noise: f64,
+    support_route_noise: f64,
+    corrections: u32,
+    params: &RoutingParams,
+) -> bool {
+    let core = core_noise(core_route_noise, corrections, params);
+    let total = total_noise(core_route_noise, support_route_noise, corrections, params);
+    (0.0..=params.w_core).contains(&core) && total <= params.w_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example: a 25-qubit code with 7 Core qubits
+    /// routed as in Fig. 4 — Core over fibers {1,2,5,6}, Support over
+    /// {3,4,5,6}, one correction at the server. Expected noises:
+    /// `(7/7)(μ1+μ2+μ5+μ6) − ω` and
+    /// `(7/25)·½·(μ1+μ2+μ5+μ6) + (18/25)(μ3+μ4+μ5+μ6) − ω`.
+    #[test]
+    fn paper_example_formulas() {
+        let params = RoutingParams::paper_example();
+        // Arbitrary but fixed per-fiber noises μ1..μ6.
+        let mu = [0.10, 0.07, 0.12, 0.05, 0.08, 0.06];
+        let core_route = mu[0] + mu[1] + mu[4] + mu[5]; // μ1+μ2+μ5+μ6
+        let support_route = mu[2] + mu[3] + mu[4] + mu[5]; // μ3+μ4+μ5+μ6
+
+        let got_core = core_noise(core_route, 1, &params);
+        let want_core = (7.0 / 7.0) * core_route - params.omega;
+        assert!((got_core - want_core).abs() < 1e-12);
+
+        let got_total = total_noise(core_route, support_route, 1, &params);
+        let want_total =
+            (7.0 / 25.0) * 0.5 * core_route + (18.0 / 25.0) * support_route - params.omega;
+        assert!((got_total - want_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrections_reduce_noise_linearly() {
+        let params = RoutingParams::paper_example();
+        let base = total_noise(0.5, 0.5, 0, &params);
+        let one = total_noise(0.5, 0.5, 1, &params);
+        let two = total_noise(0.5, 0.5, 2, &params);
+        assert!((base - one - params.omega).abs() < 1e-12);
+        assert!((one - two - params.omega).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholds_gate_both_expressions() {
+        let mut params = RoutingParams::paper_example();
+        params.w_core = 0.3;
+        params.w_total = 0.25;
+        params.omega = 0.1;
+        // Low noise passes.
+        assert!(within_thresholds(0.2, 0.2, 0, &params));
+        // Core over threshold fails even if total is fine.
+        assert!(!within_thresholds(0.4, 0.0, 0, &params));
+        // Over-correcting drives core noise negative → fails lower bound
+        // (the constraint that stops consecutive servers wasting resources).
+        assert!(!within_thresholds(0.05, 0.5, 1, &params));
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: encode, corrupt, and decode one surface code with all three
+//! decoders.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet::decoder::{Decoder, MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
+use surfnet::lattice::{CoreTopology, ErrorModel, SurfaceCode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A distance-9 planar surface code: 145 data qubits on a 17x17 board.
+    let code = SurfaceCode::new(9)?;
+    println!(
+        "distance-{} surface code: {} data qubits, {} measure-Z, {} measure-X",
+        code.distance(),
+        code.num_data_qubits(),
+        code.num_measure_z(),
+        code.num_measure_x()
+    );
+
+    // SurfNet's modular split: the Core (cross topology) rides the
+    // entanglement channel at half the error rate of the Support.
+    let partition = code.core_partition(CoreTopology::Cross);
+    println!(
+        "core/support split: {} core + {} support qubits",
+        partition.num_core(),
+        partition.num_support()
+    );
+    let model = ErrorModel::dual_channel(&code, &partition, 0.06, 0.15);
+
+    // Corrupt one transmission and decode it three ways.
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let sample = model.sample(&mut rng);
+    let syndrome = code.extract_syndrome(&sample.pauli);
+    println!(
+        "sampled {} physical errors, {} erasures, {} syndrome defects",
+        sample.pauli.weight(),
+        sample.erased.iter().filter(|&&e| e).count(),
+        syndrome.weight()
+    );
+
+    let decoders: [&dyn Decoder; 3] = [
+        &MwpmDecoder::from_model(&code, &model),
+        &UnionFindDecoder::from_model(&code, &model),
+        &SurfNetDecoder::from_model(&code, &model),
+    ];
+    for decoder in decoders {
+        let outcome = decoder.decode_sample(&code, &sample);
+        println!(
+            "{:<11} syndrome cleared: {:>5}  logical error: {}",
+            decoder.name(),
+            outcome.syndrome_cleared,
+            outcome.logical_failure.any()
+        );
+    }
+
+    // Monte-Carlo: logical error rates over many transmissions.
+    let trials = 200;
+    for (name, failures) in [
+        ("union-find", failure_count(&UnionFindDecoder::from_model(&code, &model), &code, &model, trials, 7)),
+        ("surfnet", failure_count(&SurfNetDecoder::from_model(&code, &model), &code, &model, trials, 7)),
+    ] {
+        println!(
+            "{name}: logical error rate {:.3} over {trials} transmissions",
+            failures as f64 / trials as f64
+        );
+    }
+    Ok(())
+}
+
+fn failure_count(
+    decoder: &dyn Decoder,
+    code: &SurfaceCode,
+    model: &ErrorModel,
+    trials: usize,
+    seed: u64,
+) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..trials)
+        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .count()
+}

@@ -1,0 +1,111 @@
+//! Integration tests across the lattice + decoder crates: statistical
+//! behavior the paper's Fig. 8 depends on.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet::decoder::{Decoder, MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
+use surfnet::lattice::{CoreTopology, ErrorModel, SurfaceCode};
+
+fn logical_error_rate(
+    decoder: &dyn Decoder,
+    code: &SurfaceCode,
+    model: &ErrorModel,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let failures = (0..trials)
+        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .count();
+    failures as f64 / trials as f64
+}
+
+#[test]
+fn all_decoders_perfect_on_noiseless_codes() {
+    for d in [3usize, 5, 7] {
+        let code = SurfaceCode::new(d).unwrap();
+        let model = ErrorModel::uniform(&code, 0.0, 0.0);
+        for decoder in decoders(&code, &model) {
+            assert_eq!(
+                logical_error_rate(decoder.as_ref(), &code, &model, 20, 1),
+                0.0
+            );
+        }
+    }
+}
+
+fn decoders(code: &SurfaceCode, model: &ErrorModel) -> Vec<Box<dyn Decoder>> {
+    vec![
+        Box::new(MwpmDecoder::from_model(code, model)),
+        Box::new(UnionFindDecoder::from_model(code, model)),
+        Box::new(SurfNetDecoder::from_model(code, model)),
+    ]
+}
+
+#[test]
+fn error_rate_monotone_in_physical_rate() {
+    let code = SurfaceCode::new(7).unwrap();
+    let part = code.core_partition(CoreTopology::Cross);
+    let trials = 400;
+    let mut prev = -1.0;
+    for p in [0.02, 0.06, 0.12] {
+        let model = ErrorModel::dual_channel(&code, &part, p, 0.15);
+        let d = SurfNetDecoder::from_model(&code, &model);
+        let rate = logical_error_rate(&d, &code, &model, trials, 5);
+        assert!(
+            rate >= prev - 0.03,
+            "logical rate not (approximately) monotone: {prev} -> {rate} at p={p}"
+        );
+        prev = rate;
+    }
+}
+
+#[test]
+fn dual_channel_model_beats_uniform_model() {
+    // Halving the Core rates (the dual channel's effect) must help.
+    let code = SurfaceCode::new(7).unwrap();
+    let part = code.core_partition(CoreTopology::Cross);
+    let trials = 600;
+    let uniform = ErrorModel::uniform(&code, 0.07, 0.15);
+    let dual = ErrorModel::dual_channel(&code, &part, 0.07, 0.15);
+    let d_uniform = UnionFindDecoder::from_model(&code, &uniform);
+    let d_dual = UnionFindDecoder::from_model(&code, &dual);
+    let r_uniform = logical_error_rate(&d_uniform, &code, &uniform, trials, 9);
+    let r_dual = logical_error_rate(&d_dual, &code, &dual, trials, 9);
+    assert!(
+        r_dual < r_uniform + 0.02,
+        "dual-channel rates should not hurt: uniform {r_uniform}, dual {r_dual}"
+    );
+}
+
+#[test]
+fn surfnet_decoder_not_worse_than_union_find_at_operating_point() {
+    // The Fig. 8 comparison at the paper's operating point (p=7%,
+    // erasure 15%, Core rates halved): the SurfNet decoder's weighted
+    // growth should match or beat plain Union-Find. Statistical test with
+    // fixed seed and a tolerance for Monte-Carlo noise.
+    let code = SurfaceCode::new(9).unwrap();
+    let part = code.core_partition(CoreTopology::Cross);
+    let model = ErrorModel::dual_channel(&code, &part, 0.07, 0.15);
+    let trials = 800;
+    let uf = UnionFindDecoder::from_model(&code, &model);
+    let sn = SurfNetDecoder::from_model(&code, &model);
+    let r_uf = logical_error_rate(&uf, &code, &model, trials, 13);
+    let r_sn = logical_error_rate(&sn, &code, &model, trials, 13);
+    assert!(
+        r_sn <= r_uf + 0.03,
+        "SurfNet decoder rate {r_sn} should not exceed Union-Find {r_uf} by more than noise"
+    );
+}
+
+#[test]
+fn mwpm_strictly_better_than_nothing_below_threshold() {
+    let code = SurfaceCode::new(5).unwrap();
+    let model = ErrorModel::uniform(&code, 0.04, 0.05);
+    let d = MwpmDecoder::from_model(&code, &model);
+    let rate = logical_error_rate(&d, &code, &model, 300, 21);
+    // Physical error rate per qubit is ~4%+erasures over 41 qubits; the
+    // chance a random sample is error-free is tiny, yet decoding should
+    // succeed most of the time.
+    assert!(rate < 0.25, "MWPM logical rate {rate} too high below threshold");
+}

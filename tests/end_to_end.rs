@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full SurfNet stack from network
+//! generation through scheduling, execution, and decoding.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet::core::pipeline::{run_trial, run_trial_on, Design};
+use surfnet::core::scenario::{ConnectionQuality, FacilityLevel, Scenario, TrialConfig};
+use surfnet::core::MetricsSummary;
+use surfnet::netsim::generate::{barabasi_albert, NetworkConfig};
+use surfnet::netsim::request::random_requests;
+use surfnet::routing::{RawScheduler, RoutingParams, SurfNetScheduler};
+
+fn default_params() -> RoutingParams {
+    TrialConfig::default().params
+}
+
+#[test]
+fn full_pipeline_all_designs_all_scenarios() {
+    for facility in FacilityLevel::ALL {
+        for quality in [ConnectionQuality::Good, ConnectionQuality::Poor] {
+            let mut cfg = TrialConfig::default();
+            cfg.scenario = Scenario { facility, quality };
+            for design in Design::FIG7 {
+                let m = run_trial(design, &cfg, 33).unwrap();
+                assert!(
+                    (0.0..=1.0).contains(&m.fidelity),
+                    "{} in {}: fidelity {}",
+                    design.label(),
+                    cfg.scenario.label(),
+                    m.fidelity
+                );
+                assert!((0.0..=1.0).contains(&m.throughput));
+                assert!(m.executed <= m.requested);
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_respect_capacities_end_to_end() {
+    // Feed the scheduler a network, then audit every scheduled code's
+    // resource usage against the raw capacities.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let net = barabasi_albert(&NetworkConfig::default(), &mut rng).unwrap();
+    let requests = random_requests(&net, 6, 3, &mut rng);
+    let params = default_params();
+    let schedule = SurfNetScheduler::new(params).schedule(&net, &requests).unwrap();
+
+    let qubits = params.code_size() as i64;
+    let mut node_load = vec![0i64; net.num_nodes()];
+    let mut fiber_pairs = vec![0i64; net.num_fibers()];
+    for code in &schedule.codes {
+        let mut cursor = code.plan.src;
+        for segment in &code.plan.segments {
+            for &f in &segment.support_route {
+                let next = net.fiber(f).other(cursor);
+                if net.node(next).kind.is_relay() {
+                    node_load[next] += qubits;
+                }
+                cursor = next;
+            }
+            for &f in segment.core_route.as_deref().unwrap_or(&[]) {
+                fiber_pairs[f] += params.n_core as i64;
+            }
+        }
+        assert_eq!(cursor, code.plan.dst, "plan must walk to the destination");
+    }
+    for v in 0..net.num_nodes() {
+        assert!(
+            node_load[v] <= net.node(v).capacity as i64,
+            "node {v} overloaded: {} > {}",
+            node_load[v],
+            net.node(v).capacity
+        );
+    }
+    for f in 0..net.num_fibers() {
+        assert!(
+            fiber_pairs[f] <= net.fiber(f).entanglement_capacity as i64,
+            "fiber {f} over-consumed"
+        );
+    }
+}
+
+#[test]
+fn surfnet_beats_raw_fidelity_with_comparable_throughput() {
+    // The paper's Fig. 6(a) claim, averaged over seeds.
+    let cfg = TrialConfig::default();
+    let run_many = |design: Design| {
+        let trials: Vec<_> = (0..10)
+            .map(|s| run_trial(design, &cfg, 700 + s).unwrap())
+            .collect();
+        MetricsSummary::from_trials(&trials)
+    };
+    let surfnet = run_many(Design::SurfNet);
+    let raw = run_many(Design::Raw);
+    assert!(
+        surfnet.fidelity > raw.fidelity,
+        "SurfNet fidelity {} must exceed Raw {}",
+        surfnet.fidelity,
+        raw.fidelity
+    );
+    // Throughputs are "similar" (same order of magnitude, not collapsed).
+    assert!(surfnet.throughput > 0.2, "SurfNet throughput {}", surfnet.throughput);
+    assert!(raw.throughput > 0.2, "Raw throughput {}", raw.throughput);
+}
+
+#[test]
+fn purification_baselines_trade_distillation_against_decoherence() {
+    // More purification rounds give better pairs but much longer waits;
+    // with memory decoherence the heavy baseline ends up worse (the
+    // inefficiency argument of the paper's Sec. I).
+    let cfg = TrialConfig::default();
+    let fid = |n: u32| {
+        let trials: Vec<_> = (0..8)
+            .map(|s| run_trial(Design::Purification(n), &cfg, 800 + s).unwrap())
+            .collect();
+        MetricsSummary::from_trials(&trials).fidelity
+    };
+    let f1 = fid(1);
+    let f9 = fid(9);
+    assert!(
+        f1 > f9,
+        "purification N=1 fidelity {f1} must exceed decoherence-dominated N=9 {f9}"
+    );
+}
+
+#[test]
+fn same_network_same_requests_designs_comparable() {
+    // run_trial_on lets Fig. 7 style comparisons share the exact same
+    // network and request batch across designs.
+    let mut rng = SmallRng::seed_from_u64(91);
+    let net = barabasi_albert(&NetworkConfig::default(), &mut rng).unwrap();
+    let requests = random_requests(&net, 5, 3, &mut rng);
+    let cfg = TrialConfig::default();
+    for design in Design::FIG7 {
+        let mut rng = SmallRng::seed_from_u64(92);
+        let m = run_trial_on(design, &cfg, &net, &requests, &mut rng).unwrap();
+        assert!(m.requested == requests.iter().map(|r| r.num_codes).sum::<u32>());
+    }
+}
+
+#[test]
+fn raw_scheduler_never_consumes_entanglement() {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let net = barabasi_albert(&NetworkConfig::default(), &mut rng).unwrap();
+    let requests = random_requests(&net, 4, 2, &mut rng);
+    let schedule = RawScheduler::new(default_params())
+        .schedule(&net, &requests)
+        .unwrap();
+    for code in &schedule.codes {
+        for segment in &code.plan.segments {
+            assert!(segment.core_route.is_none());
+        }
+    }
+}
