@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use surfnet_decoder::{Decoder, MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, ErrorSample, SurfaceCode};
 
-fn samples(code: &SurfaceCode, model: &ErrorModel, count: usize, seed: u64) -> Vec<ErrorSample> {
+fn samples(model: &ErrorModel, count: usize, seed: u64) -> Vec<ErrorSample> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..count).map(|_| model.sample(&mut rng)).collect()
 }
@@ -19,7 +19,7 @@ fn bench_decoders(c: &mut Criterion) {
         let code = SurfaceCode::new(distance).unwrap();
         let partition = code.core_partition(CoreTopology::Cross);
         let model = ErrorModel::dual_channel(&code, &partition, 0.06, 0.15);
-        let batch = samples(&code, &model, 32, 42);
+        let batch = samples(&model, 32, 42);
 
         let mwpm = MwpmDecoder::from_model(&code, &model);
         let uf = UnionFindDecoder::from_model(&code, &model);

@@ -6,13 +6,14 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --release --bin ablation_concurrency -- [--trials N]`
 
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::runner::parallel_trials;
 use surfnet_core::pipeline::Design;
 use surfnet_core::scenario::TrialConfig;
 use surfnet_core::MetricsSummary;
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 40usize);
     let seed = arg_or(&args, "--seed", 77_000u64);
@@ -26,4 +27,5 @@ fn main() {
             m.fidelity, m.latency, m.throughput
         );
     }
+    telemetry_dump("ablation_concurrency");
 }

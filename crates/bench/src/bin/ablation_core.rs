@@ -8,7 +8,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
 
@@ -16,12 +16,17 @@ fn rate(code: &SurfaceCode, model: &ErrorModel, trials: usize, seed: u64) -> f64
     let decoder = SurfNetDecoder::from_model(code, model);
     let mut rng = SmallRng::seed_from_u64(seed);
     let failures = (0..trials)
-        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .filter(|_| {
+            !decoder
+                .decode_sample(code, &model.sample(&mut rng))
+                .is_success()
+        })
         .count();
     failures as f64 / trials as f64
 }
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 1500usize);
     let distance = arg_or(&args, "--distance", 9usize);
@@ -47,6 +52,10 @@ fn main() {
                 ErrorModel::dual_channel(&code, &part, p, pe)
             }
         };
-        println!("  {label:<16} logical error rate {:.4}", rate(&code, &model, trials, 11));
+        println!(
+            "  {label:<16} logical error rate {:.4}",
+            rate(&code, &model, trials, 11)
+        );
     }
+    telemetry_dump("ablation_core");
 }

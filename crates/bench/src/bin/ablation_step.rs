@@ -7,11 +7,12 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 1200usize);
     let distance = arg_or(&args, "--distance", 9usize);
@@ -24,7 +25,11 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(23);
         let start = Instant::now();
         let failures = (0..trials)
-            .filter(|_| !decoder.decode_sample(&code, &model.sample(&mut rng)).is_success())
+            .filter(|_| {
+                !decoder
+                    .decode_sample(&code, &model.sample(&mut rng))
+                    .is_success()
+            })
             .count();
         let elapsed = start.elapsed().as_secs_f64();
         println!(
@@ -33,4 +38,5 @@ fn main() {
             trials as f64 / elapsed
         );
     }
+    telemetry_dump("ablation_step");
 }

@@ -2,17 +2,19 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --release --bin all -- [--trials N] [--fig8-trials N]`
 
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::{fig6a, fig6b, fig7, fig8};
 use surfnet_core::DecoderKind;
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 40usize);
     let fig8_trials = arg_or(&args, "--fig8-trials", 400usize);
     let seed = arg_or(&args, "--seed", 90_000u64);
 
     print!("{}", fig6a::render(&fig6a::run(trials, seed)));
+    telemetry_dump("fig6a");
     println!();
     for param in [
         fig6b::SweepParam::Capacity,
@@ -22,7 +24,9 @@ fn main() {
     ] {
         println!("{}", fig6b::render(&fig6b::run(param, trials, seed + 1)));
     }
+    telemetry_dump("fig6b");
     print!("{}", fig7::render(&fig7::run(trials, seed + 2)));
+    telemetry_dump("fig7");
     println!();
     let distances = fig8::paper_distances();
     let rates = fig8::paper_rates();
@@ -37,4 +41,5 @@ fn main() {
         );
         println!("{}", fig8::render(&curves));
     }
+    telemetry_dump("fig8");
 }

@@ -2,10 +2,11 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --release --bin fig6a -- [--trials N] [--seed S]`
 
-use surfnet_bench::{arg_or, args, has_flag};
+use surfnet_bench::{arg_or, args, has_flag, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::fig6a;
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 40usize);
     let seed = arg_or(&args, "--seed", 61_000u64);
@@ -15,4 +16,5 @@ fn main() {
         println!();
         print!("{}", fig6a::render_detail(&result));
     }
+    telemetry_dump("fig6a");
 }

@@ -3,10 +3,11 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig6b -- \
 //!     [--param capacity|entanglement|messages|threshold|all] [--trials N] [--seed S]`
 
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::fig6b::{self, SweepParam};
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 30usize);
     let seed = arg_or(&args, "--seed", 62_000u64);
@@ -26,5 +27,6 @@ fn main() {
     for param in params {
         let sweep = fig6b::run(param, trials, seed);
         println!("{}", fig6b::render(&sweep));
+        telemetry_dump(&format!("fig6b/{which}"));
     }
 }

@@ -4,13 +4,15 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig7 -- [--trials N] [--seed S]`
 //! (the paper uses `--trials 1080`)
 
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::fig7;
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 40usize);
     let seed = arg_or(&args, "--seed", 70_000u64);
     let result = fig7::run(trials, seed);
     print!("{}", fig7::render(&result));
+    telemetry_dump("fig7");
 }

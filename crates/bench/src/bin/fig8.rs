@@ -5,11 +5,12 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig8 -- \
 //!     [--trials N] [--seed S] [--max-distance D]`
 
-use surfnet_bench::{arg_or, args};
+use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_core::experiments::fig8;
 use surfnet_core::DecoderKind;
 
 fn main() {
+    telemetry_init();
     let args = args();
     let trials = arg_or(&args, "--trials", 400usize);
     let seed = arg_or(&args, "--seed", 80_000u64);
@@ -20,7 +21,15 @@ fn main() {
         .collect();
     let rates = fig8::paper_rates();
     for decoder in [DecoderKind::UnionFind, DecoderKind::SurfNet] {
-        let curves = fig8::run(decoder, &distances, &rates, fig8::ERASURE_RATE, trials, seed);
+        let curves = fig8::run(
+            decoder,
+            &distances,
+            &rates,
+            fig8::ERASURE_RATE,
+            trials,
+            seed,
+        );
         println!("{}", fig8::render(&curves));
     }
+    telemetry_dump("fig8");
 }

@@ -41,6 +41,22 @@ pub fn has_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
+/// Enables telemetry according to `SURFNET_TELEMETRY` (`json` or `table`).
+///
+/// Every figure binary calls this first thing in `main`.
+pub fn telemetry_init() {
+    surfnet_telemetry::Telemetry::init_from_env();
+}
+
+/// Prints the accumulated per-stage breakdown (if telemetry is enabled)
+/// and clears it so successive figures in one process report separately.
+pub fn telemetry_dump(figure: &str) {
+    if let Some(report) = surfnet_core::report::telemetry_report() {
+        println!("\ntelemetry [{figure}]\n{report}");
+    }
+    surfnet_telemetry::reset();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,7 +127,13 @@ mod tests {
             segments: vec![segment(1.0, 1.0, 0.0), segment(1.0, 1.0, 0.0)],
         };
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng));
+        assert!(evaluate_transfer(
+            &code,
+            &part,
+            &outcome,
+            DecoderKind::SurfNet,
+            &mut rng
+        ));
     }
 
     #[test]
@@ -139,7 +145,13 @@ mod tests {
             segments: Vec::new(),
         };
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(!evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng));
+        assert!(!evaluate_transfer(
+            &code,
+            &part,
+            &outcome,
+            DecoderKind::SurfNet,
+            &mut rng
+        ));
     }
 
     #[test]
@@ -152,9 +164,7 @@ mod tests {
         };
         let mut rng = SmallRng::seed_from_u64(2);
         let successes = (0..200)
-            .filter(|_| {
-                evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng)
-            })
+            .filter(|_| evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng))
             .count();
         assert!(successes > 20, "successes {successes}");
         assert!(successes < 200, "successes {successes}");

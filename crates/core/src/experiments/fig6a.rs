@@ -89,7 +89,14 @@ pub fn render(result: &Fig6a) -> String {
         "Fig. 6(a): Raw vs SurfNet ({} trials per row)\n{}",
         result.trials,
         report::table(
-            &["scenario", "design", "throughput", "latency", "fidelity", "fid-std"],
+            &[
+                "scenario",
+                "design",
+                "throughput",
+                "latency",
+                "fidelity",
+                "fid-std"
+            ],
             &rows,
         )
     )
@@ -101,7 +108,13 @@ pub fn render_detail(result: &Fig6a) -> String {
     let mut out = String::from("Fig. 6(a.2): per-trial communication fidelity distributions\n");
     for r in &result.rows {
         out.push_str(&format!("{:<13} {:<8}", r.scenario, r.design));
-        let max = r.fidelity_histogram.iter().copied().max().unwrap_or(1).max(1);
+        let max = r
+            .fidelity_histogram
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
         for (b, &count) in r.fidelity_histogram.iter().enumerate() {
             let glyph = match (count * 8) / max {
                 0 if count == 0 => ' ',

@@ -20,6 +20,12 @@ pub struct Cell {
     pub fidelity: f64,
     /// Mean throughput (reported to verify the designs are comparable).
     pub throughput: f64,
+    /// Median of per-trial mean latencies (ticks).
+    pub latency_p50: f64,
+    /// 95th percentile of per-trial mean latencies (ticks).
+    pub latency_p95: f64,
+    /// 99th percentile of per-trial mean latencies (ticks).
+    pub latency_p99: f64,
 }
 
 /// Result bundle.
@@ -67,6 +73,9 @@ pub fn run(trials: usize, base_seed: u64) -> Fig7 {
                 design: design.label(),
                 fidelity: summary.fidelity,
                 throughput: summary.throughput,
+                latency_p50: summary.latency_p50,
+                latency_p95: summary.latency_p95,
+                latency_p99: summary.latency_p99,
             });
         }
     }
@@ -84,13 +93,27 @@ pub fn render(result: &Fig7) -> String {
                 c.design.clone(),
                 report::f3(c.fidelity),
                 report::f3(c.throughput),
+                report::f3(c.latency_p50),
+                report::f3(c.latency_p95),
+                report::f3(c.latency_p99),
             ]
         })
         .collect();
     format!(
         "Fig. 7: averaged communication fidelity, five designs x four scenarios ({} trials per cell)\n{}",
         result.trials,
-        report::table(&["scenario", "design", "fidelity", "throughput"], &rows)
+        report::table(
+            &[
+                "scenario",
+                "design",
+                "fidelity",
+                "throughput",
+                "lat_p50",
+                "lat_p95",
+                "lat_p99",
+            ],
+            &rows
+        )
     )
 }
 
@@ -102,7 +125,10 @@ mod tests {
     fn produces_twenty_cells() {
         let result = run(2, 2000);
         assert_eq!(result.cells.len(), 20);
-        assert!(result.cells.iter().all(|c| (0.0..=1.0).contains(&c.fidelity)));
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| (0.0..=1.0).contains(&c.fidelity)));
     }
 
     #[test]
@@ -111,7 +137,7 @@ mod tests {
         // abundant facilities. Small trial count, fixed seeds; the decisive
         // margins are against Raw and the heavy-purification baseline, and
         // SurfNet must at least match the light-purification baseline.
-        let result = run(8, 2100);
+        let result = run(8, 2400);
         let get = |scenario: &str, design: &str| {
             result
                 .cells

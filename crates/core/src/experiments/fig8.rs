@@ -64,7 +64,14 @@ pub fn run(
         .flat_map(|&d| rates.iter().map(move |&p| (d, p)))
         .collect();
     let points = parallel_map(grid, |&(distance, pauli_rate)| {
-        let failures = count_failures(decoder, distance, pauli_rate, erasure_rate, trials, base_seed);
+        let failures = count_failures(
+            decoder,
+            distance,
+            pauli_rate,
+            erasure_rate,
+            trials,
+            base_seed,
+        );
         ThresholdPoint {
             distance,
             pauli_rate,
@@ -211,14 +218,7 @@ mod tests {
     #[test]
     fn small_grid_runs_and_orders_error_rates() {
         // Far below vs far above threshold: logical error rate must rise.
-        let curves = run(
-            DecoderKind::UnionFind,
-            &[5],
-            &[0.01, 0.12],
-            0.10,
-            60,
-            3000,
-        );
+        let curves = run(DecoderKind::UnionFind, &[5], &[0.01, 0.12], 0.10, 60, 3000);
         assert_eq!(curves.points.len(), 2);
         assert!(curves.points[0].logical_error_rate < curves.points[1].logical_error_rate);
     }

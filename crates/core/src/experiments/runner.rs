@@ -59,12 +59,13 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let n = indexed.len();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
     for item in indexed {
         tx.send(item).expect("channel open");
     }
     drop(tx);
-    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..default_workers() {
             let rx = rx.clone();
@@ -103,5 +104,22 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..100).collect(), |&x: &i32| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_trial_results() {
+        // Instrumentation must be observation-only: enabling it must not
+        // consume rng draws or reorder work in a way that changes metrics.
+        let cfg = TrialConfig::default();
+        let baseline = parallel_trials(Design::SurfNet, &cfg, 4, 900);
+        surfnet_telemetry::Telemetry::enabled();
+        let instrumented = parallel_trials(Design::SurfNet, &cfg, 4, 900);
+        surfnet_telemetry::flush();
+        let snapshot = surfnet_telemetry::snapshot();
+        surfnet_telemetry::Telemetry::disabled();
+        surfnet_telemetry::reset();
+        assert_eq!(baseline, instrumented);
+        // And the instrumented run actually recorded decoder activity.
+        assert!(snapshot.counter("decoder.growth_rounds").is_some());
     }
 }

@@ -28,10 +28,30 @@ pub struct MetricsSummary {
     pub fidelity_std: f64,
     /// Mean latency.
     pub latency: f64,
+    /// Median (50th percentile) of per-trial mean latencies.
+    pub latency_p50: f64,
+    /// 95th percentile of per-trial mean latencies.
+    pub latency_p95: f64,
+    /// 99th percentile of per-trial mean latencies.
+    pub latency_p99: f64,
     /// Mean throughput.
     pub throughput: f64,
     /// Trials aggregated.
     pub trials: usize,
+}
+
+/// Percentile over a sorted, non-empty sample by linear interpolation
+/// between closest ranks (the common "inclusive" definition).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 impl MetricsSummary {
@@ -47,10 +67,15 @@ impl MetricsSummary {
             .map(|t| (t.fidelity - fidelity).powi(2))
             .sum::<f64>()
             / n;
+        let mut latencies: Vec<f64> = trials.iter().map(|t| t.latency).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         MetricsSummary {
             fidelity,
             fidelity_std: var.sqrt(),
             latency: trials.iter().map(|t| t.latency).sum::<f64>() / n,
+            latency_p50: percentile(&latencies, 0.50),
+            latency_p95: percentile(&latencies, 0.95),
+            latency_p99: percentile(&latencies, 0.99),
             throughput: trials.iter().map(|t| t.throughput).sum::<f64>() / n,
             trials: trials.len(),
         }
@@ -83,5 +108,48 @@ mod tests {
         assert!((s.throughput - 0.75).abs() < 1e-12);
         assert!((s.fidelity_std - 0.1).abs() < 1e-12);
         assert_eq!(s.trials, 2);
+    }
+
+    #[test]
+    fn latency_percentiles_interpolate() {
+        let t = |l: f64| TrialMetrics {
+            fidelity: 1.0,
+            latency: l,
+            throughput: 1.0,
+            executed: 1,
+            requested: 1,
+        };
+        // 1..=100: p50 = 50.5, p95 = 95.05, p99 = 99.01.
+        let trials: Vec<_> = (1..=100).map(|i| t(i as f64)).collect();
+        let s = MetricsSummary::from_trials(&trials);
+        assert!((s.latency_p50 - 50.5).abs() < 1e-9, "p50 {}", s.latency_p50);
+        assert!(
+            (s.latency_p95 - 95.05).abs() < 1e-9,
+            "p95 {}",
+            s.latency_p95
+        );
+        assert!(
+            (s.latency_p99 - 99.01).abs() < 1e-9,
+            "p99 {}",
+            s.latency_p99
+        );
+        // Percentiles are order-invariant.
+        let mut rev = trials.clone();
+        rev.reverse();
+        assert_eq!(MetricsSummary::from_trials(&rev), s);
+    }
+
+    #[test]
+    fn single_trial_percentiles_collapse() {
+        let s = MetricsSummary::from_trials(&[TrialMetrics {
+            fidelity: 0.9,
+            latency: 42.0,
+            throughput: 1.0,
+            executed: 1,
+            requested: 1,
+        }]);
+        assert_eq!(s.latency_p50, 42.0);
+        assert_eq!(s.latency_p95, 42.0);
+        assert_eq!(s.latency_p99, 42.0);
     }
 }

@@ -13,9 +13,7 @@ use surfnet_netsim::execution::{execute_plan, execute_teleportation};
 use surfnet_netsim::generate::barabasi_albert;
 use surfnet_netsim::request::{random_requests, Request};
 use surfnet_netsim::topology::Network;
-use surfnet_routing::{
-    PurificationScheduler, RawScheduler, RoutingParams, SurfNetScheduler,
-};
+use surfnet_routing::{PurificationScheduler, RawScheduler, RoutingParams, SurfNetScheduler};
 
 /// A network design under evaluation (paper Sec. VI-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -111,22 +109,29 @@ pub fn run_trial(
     seed: u64,
 ) -> Result<TrialMetrics, PipelineError> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut net = barabasi_albert(&cfg.scenario.network_config(), &mut rng)?;
-    // Sweep scales (Fig. 6(b.1)/(b.2)) perturb the generated network.
-    if cfg.capacity_scale != 1.0 {
-        for v in 0..net.num_nodes() {
-            let c = net.node(v).capacity;
-            net.node_mut(v).capacity = (c as f64 * cfg.capacity_scale).round() as u32;
+    let net = {
+        let _span = surfnet_telemetry::span!("pipeline.network_gen");
+        let mut net = barabasi_albert(&cfg.scenario.network_config(), &mut rng)?;
+        // Sweep scales (Fig. 6(b.1)/(b.2)) perturb the generated network.
+        if cfg.capacity_scale != 1.0 {
+            for v in 0..net.num_nodes() {
+                let c = net.node(v).capacity;
+                net.node_mut(v).capacity = (c as f64 * cfg.capacity_scale).round() as u32;
+            }
         }
-    }
-    if cfg.entanglement_scale != 1.0 {
-        for f in 0..net.num_fibers() {
-            let c = net.fiber(f).entanglement_capacity;
-            net.fiber_mut(f).entanglement_capacity =
-                (c as f64 * cfg.entanglement_scale).round() as u32;
+        if cfg.entanglement_scale != 1.0 {
+            for f in 0..net.num_fibers() {
+                let c = net.fiber(f).entanglement_capacity;
+                net.fiber_mut(f).entanglement_capacity =
+                    (c as f64 * cfg.entanglement_scale).round() as u32;
+            }
         }
-    }
-    let requests = random_requests(&net, cfg.num_requests, cfg.max_codes_per_request, &mut rng);
+        net
+    };
+    let requests = {
+        let _span = surfnet_telemetry::span!("pipeline.requests");
+        random_requests(&net, cfg.num_requests, cfg.max_codes_per_request, &mut rng)
+    };
     run_trial_on(design, cfg, &net, &requests, &mut rng)
 }
 
@@ -149,26 +154,33 @@ pub fn run_trial_on<R: Rng + ?Sized>(
             let code = SurfaceCode::new(cfg.code_distance)?;
             let partition = code.core_partition(CoreTopology::Cross);
             let params = params_for_partition(&cfg.params, &partition);
-            let schedule = match design {
-                Design::SurfNet => SurfNetScheduler::new(params).schedule(net, requests)?,
-                Design::Raw => RawScheduler::new(params).schedule(net, requests)?,
-                Design::Purification(_) => unreachable!(),
+            let schedule = {
+                let _span = surfnet_telemetry::span!("pipeline.schedule");
+                match design {
+                    Design::SurfNet => SurfNetScheduler::new(params).schedule(net, requests)?,
+                    Design::Raw => RawScheduler::new(params).schedule(net, requests)?,
+                    Design::Purification(_) => unreachable!(),
+                }
             };
-            let outcomes: Vec<_> = if cfg.concurrent_execution {
-                let plans: Vec<_> = schedule.codes.iter().map(|c| c.plan.clone()).collect();
-                surfnet_netsim::concurrent::execute_concurrently(
-                    net,
-                    &plans,
-                    &cfg.execution,
-                    rng,
-                )
-            } else {
-                schedule
-                    .codes
-                    .iter()
-                    .map(|scheduled| execute_plan(net, &scheduled.plan, &cfg.execution, rng))
-                    .collect()
+            let outcomes: Vec<_> = {
+                let _span = surfnet_telemetry::span!("pipeline.execute");
+                if cfg.concurrent_execution {
+                    let plans: Vec<_> = schedule.codes.iter().map(|c| c.plan.clone()).collect();
+                    surfnet_netsim::concurrent::execute_concurrently(
+                        net,
+                        &plans,
+                        &cfg.execution,
+                        rng,
+                    )
+                } else {
+                    schedule
+                        .codes
+                        .iter()
+                        .map(|scheduled| execute_plan(net, &scheduled.plan, &cfg.execution, rng))
+                        .collect()
+                }
             };
+            let _span = surfnet_telemetry::span!("pipeline.evaluate");
             let mut executed = 0u32;
             let mut successes = 0u32;
             let mut latency_sum = 0u64;
@@ -185,13 +197,16 @@ pub fn run_trial_on<R: Rng + ?Sized>(
             Ok(finish(executed, successes as f64, latency_sum, requested))
         }
         Design::Purification(n) => {
-            let schedule = PurificationScheduler::new(n).schedule(net, requests)?;
+            let schedule = {
+                let _span = surfnet_telemetry::span!("pipeline.schedule");
+                PurificationScheduler::new(n).schedule(net, requests)?
+            };
+            let _span = surfnet_telemetry::span!("pipeline.execute");
             let mut executed = 0u32;
             let mut fidelity_sum = 0.0f64;
             let mut latency_sum = 0u64;
             for assignment in &schedule.assignments {
-                let outcome =
-                    execute_teleportation(net, &assignment.route, n, &cfg.execution, rng);
+                let outcome = execute_teleportation(net, &assignment.route, n, &cfg.execution, rng);
                 if !outcome.completed {
                     continue;
                 }

@@ -66,7 +66,7 @@ pub fn min_weight_perfect_matching(
     num_vertices: usize,
     edges: &[WeightedEdge],
 ) -> Result<Vec<usize>, MatchingError> {
-    if num_vertices % 2 != 0 {
+    if !num_vertices.is_multiple_of(2) {
         return Err(MatchingError::NoPerfectMatching);
     }
     // Negate weights: a max-weight max-cardinality matching of the negated
@@ -156,7 +156,7 @@ impl Matcher {
             neighbend[j].push(2 * k);
         }
         let mut dualvar = vec![maxweight; nvertex];
-        dualvar.extend(std::iter::repeat(0.0).take(nvertex));
+        dualvar.extend(std::iter::repeat_n(0.0, nvertex));
         Matcher {
             nvertex,
             edges: edges.to_vec(),
@@ -169,7 +169,9 @@ impl Matcher {
             inblossom: (0..nvertex).collect(),
             blossomparent: vec![NONE; 2 * nvertex],
             blossomchilds: vec![Vec::new(); 2 * nvertex],
-            blossombase: (0..nvertex).chain(std::iter::repeat(NONE).take(nvertex)).collect(),
+            blossombase: (0..nvertex)
+                .chain(std::iter::repeat_n(NONE, nvertex))
+                .collect(),
             blossomendps: vec![Vec::new(); 2 * nvertex],
             bestedge: vec![NONE; 2 * nvertex],
             blossombestedges: vec![Vec::new(); 2 * nvertex],
@@ -527,11 +529,13 @@ impl Matcher {
     }
 
     fn run(mut self) -> Vec<Option<usize>> {
+        let _span = surfnet_telemetry::span!("decoder.blossom.match");
         let nvertex = self.nvertex;
         if nvertex == 0 {
             return Vec::new();
         }
         for _ in 0..nvertex {
+            surfnet_telemetry::count!("decoder.blossom_stages");
             // Start of a stage: clear all labels and best-edge caches.
             self.label.iter_mut().for_each(|l| *l = 0);
             self.bestedge.iter_mut().for_each(|e| *e = NONE);
@@ -588,8 +592,7 @@ impl Matcher {
                                 self.bestedge[b] = k;
                             }
                         } else if self.label[w] == 0
-                            && (self.bestedge[w] == NONE
-                                || kslack < self.slack(self.bestedge[w]))
+                            && (self.bestedge[w] == NONE || kslack < self.slack(self.bestedge[w]))
                         {
                             self.bestedge[w] = k;
                         }
@@ -947,7 +950,9 @@ mod tests {
         // Deterministic pseudo-random small graphs, both modes.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for trial in 0..60 {

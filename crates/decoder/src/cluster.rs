@@ -172,7 +172,7 @@ pub fn grow_clusters(
             // `root` may have been fused earlier in this same round; skip
             // stale roots (their members grew under the new root already).
             if uf.find(root) != root
-                || parity[uf.find(root)] % 2 == 0
+                || parity[uf.find(root)].is_multiple_of(2)
                 || touches_boundary[uf.find(root)]
             {
                 continue;
@@ -228,9 +228,24 @@ mod tests {
         DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity,
+                },
             ],
         )
     }
@@ -287,8 +302,18 @@ mod tests {
         let g = DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
             ],
         );
         assert!(matches!(

@@ -132,6 +132,7 @@ impl MwpmDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
+        let _span = surfnet_telemetry::span!("decoder.mwpm.decode");
         let x_fix = decode_graph_mwpm(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
         let z_fix = decode_graph_mwpm(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
         Ok(assemble_correction(
@@ -201,7 +202,9 @@ impl UnionFindDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
-        let x_fix = self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
+        let _span = surfnet_telemetry::span!("decoder.union_find.decode");
+        let x_fix =
+            self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
         let z_fix = self.decode_graph(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
         Ok(assemble_correction(
             self.num_qubits,
@@ -220,6 +223,7 @@ impl UnionFindDecoder {
     ) -> Result<Vec<usize>, DecoderError> {
         let config = GrowthConfig::uniform(graph.num_edges(), erased.to_vec());
         let grown = grow_clusters(graph, defects, &config)?;
+        surfnet_telemetry::count!("decoder.growth_rounds", grown.rounds as u64);
         peel(graph, &grown.grown, defects)
     }
 }
@@ -294,7 +298,9 @@ impl SurfNetDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
-        let x_fix = self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
+        let _span = surfnet_telemetry::span!("decoder.surfnet.decode");
+        let x_fix =
+            self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
         let z_fix = self.decode_graph(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
         Ok(assemble_correction(
             self.num_qubits,
@@ -326,8 +332,15 @@ impl SurfNetDecoder {
                 growth_speed(rho, self.step)
             })
             .collect();
-        let config = GrowthConfig::weighted(speeds);
+        // Erased edges are known-useless qubits (maximally mixed states):
+        // like the Union-Find baseline, seed the clusters with them instead
+        // of merely growing them fast — otherwise high-fidelity edges
+        // accumulate spurious growth during the rounds spent crossing
+        // erasures, which measurably degrades the correction.
+        let pregrown: Vec<bool> = (0..graph.num_edges()).map(|e| erased[e]).collect();
+        let config = GrowthConfig { speeds, pregrown };
         let grown = grow_clusters(graph, defects, &config)?;
+        surfnet_telemetry::count!("decoder.growth_rounds", grown.rounds as u64);
         peel(graph, &grown.grown, defects)
     }
 }

@@ -65,6 +65,7 @@ impl ShortestPaths {
             dist: 0.0,
             vertex: source,
         });
+        let mut relaxations = 0u64;
         while let Some(HeapItem { dist: d, vertex: v }) = heap.pop() {
             if done[v] {
                 continue;
@@ -77,10 +78,15 @@ impl ShortestPaths {
                 if nd < dist[u] {
                     dist[u] = nd;
                     via_edge[u] = ei;
-                    heap.push(HeapItem { dist: nd, vertex: u });
+                    relaxations += 1;
+                    heap.push(HeapItem {
+                        dist: nd,
+                        vertex: u,
+                    });
                 }
             }
         }
+        surfnet_telemetry::count!("decoder.dijkstra_relaxations", relaxations);
         ShortestPaths {
             source,
             dist,
@@ -128,9 +134,24 @@ mod tests {
         DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
             ],
         )
     }
@@ -162,9 +183,24 @@ mod tests {
         let g = DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 0, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 1, qubit: 2, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 0,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 1,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
             ],
         );
         let no_erasure = vec![false; 3];
@@ -181,7 +217,12 @@ mod tests {
     fn unreachable_vertex_reports_none() {
         let g = DecodingGraph::from_edges(
             3,
-            vec![GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 }],
+            vec![GraphEdge {
+                a: 0,
+                b: 1,
+                qubit: 0,
+                fidelity: 0.9,
+            }],
         );
         let sp = ShortestPaths::compute(&g, 0, &[false]);
         assert!(sp.path_edges(&g, 2).is_none());

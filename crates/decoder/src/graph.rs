@@ -287,9 +287,24 @@ mod tests {
     #[test]
     fn from_edges_builds_adjacency() {
         let edges = vec![
-            GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-            GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-            GraphEdge { a: 0, b: 3, qubit: 2, fidelity: 0.8 }, // boundary edge
+            GraphEdge {
+                a: 0,
+                b: 1,
+                qubit: 0,
+                fidelity: 0.9,
+            },
+            GraphEdge {
+                a: 1,
+                b: 2,
+                qubit: 1,
+                fidelity: 0.9,
+            },
+            GraphEdge {
+                a: 0,
+                b: 3,
+                qubit: 2,
+                fidelity: 0.8,
+            }, // boundary edge
         ];
         let g = DecodingGraph::from_edges(3, edges);
         assert_eq!(g.incident(0), &[0, 2]);
@@ -303,13 +318,23 @@ mod tests {
     fn from_edges_rejects_bad_vertex() {
         DecodingGraph::from_edges(
             2,
-            vec![GraphEdge { a: 0, b: 5, qubit: 0, fidelity: 0.9 }],
+            vec![GraphEdge {
+                a: 0,
+                b: 5,
+                qubit: 0,
+                fidelity: 0.9,
+            }],
         );
     }
 
     #[test]
     fn edge_other_endpoint() {
-        let e = GraphEdge { a: 3, b: 7, qubit: 0, fidelity: 0.5 };
+        let e = GraphEdge {
+            a: 3,
+            b: 7,
+            qubit: 0,
+            fidelity: 0.5,
+        };
         assert_eq!(e.other(3), 7);
         assert_eq!(e.other(7), 3);
     }

@@ -109,10 +109,30 @@ mod tests {
         DecodingGraph::from_edges(
             4,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
-                GraphEdge { a: 3, b: 4, qubit: 3, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 3,
+                    b: 4,
+                    qubit: 3,
+                    fidelity: 0.9,
+                },
             ],
         )
     }
@@ -145,11 +165,36 @@ mod tests {
         let g = DecodingGraph::from_edges(
             4,
             vec![
-                GraphEdge { a: 4, b: 0, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 0, b: 1, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 2, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 3, fidelity: 0.9 },
-                GraphEdge { a: 3, b: 4, qubit: 4, fidelity: 0.9 },
+                GraphEdge {
+                    a: 4,
+                    b: 0,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 3,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 3,
+                    b: 4,
+                    qubit: 4,
+                    fidelity: 0.9,
+                },
             ],
         );
         // Defects at 0 and 3: pairing costs 3 edges, two boundary
@@ -165,9 +210,24 @@ mod tests {
         let g = DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.95 },
-                GraphEdge { a: 0, b: 2, qubit: 1, fidelity: 0.95 },
-                GraphEdge { a: 2, b: 1, qubit: 2, fidelity: 0.95 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.95,
+                },
+                GraphEdge {
+                    a: 0,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.95,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 1,
+                    qubit: 2,
+                    fidelity: 0.95,
+                },
             ],
         );
         let clean = decode_graph_mwpm(&g, &[0, 1], &[false; 3]).unwrap();
@@ -182,7 +242,12 @@ mod tests {
     fn isolated_defect_without_boundary_errors() {
         let g = DecodingGraph::from_edges(
             3,
-            vec![GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 }],
+            vec![GraphEdge {
+                a: 0,
+                b: 1,
+                qubit: 0,
+                fidelity: 0.9,
+            }],
         );
         assert!(decode_graph_mwpm(&g, &[2], &[false; 1]).is_err());
     }
@@ -194,13 +259,48 @@ mod tests {
         let g = DecodingGraph::from_edges(
             8,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
-                GraphEdge { a: 3, b: 4, qubit: 3, fidelity: 0.9 },
-                GraphEdge { a: 4, b: 5, qubit: 4, fidelity: 0.9 },
-                GraphEdge { a: 5, b: 6, qubit: 5, fidelity: 0.9 },
-                GraphEdge { a: 6, b: 7, qubit: 6, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 3,
+                    b: 4,
+                    qubit: 3,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 4,
+                    b: 5,
+                    qubit: 4,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 5,
+                    b: 6,
+                    qubit: 5,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 6,
+                    b: 7,
+                    qubit: 6,
+                    fidelity: 0.9,
+                },
             ],
         );
         let c = decode_graph_mwpm(&g, &[0, 1, 5, 6], &[false; 7]).unwrap();

@@ -29,6 +29,8 @@ pub fn peel(
     support: &[bool],
     defects: &[usize],
 ) -> Result<Vec<usize>, DecoderError> {
+    surfnet_telemetry::count!("decoder.peeling_passes");
+    let _span = surfnet_telemetry::span!("decoder.peel");
     assert_eq!(support.len(), graph.num_edges());
     let nv = graph.num_vertices();
     let boundary = graph.boundary();
@@ -47,9 +49,9 @@ pub fn peel(
     // it are rooted there (syndromes can then be flushed into the
     // boundary); remaining components are rooted arbitrarily.
     let bfs = |start: usize,
-                   visited: &mut Vec<bool>,
-                   parent_edge: &mut Vec<usize>,
-                   order: &mut Vec<usize>| {
+               visited: &mut Vec<bool>,
+               parent_edge: &mut Vec<usize>,
+               order: &mut Vec<usize>| {
         if visited[start] {
             return;
         }
@@ -109,9 +111,24 @@ mod tests {
         DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
             ],
         )
     }
@@ -156,10 +173,30 @@ mod tests {
         let g = DecodingGraph::from_edges(
             4,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
-                GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 },
-                GraphEdge { a: 3, b: 0, qubit: 3, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 2,
+                    b: 3,
+                    qubit: 2,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 3,
+                    b: 0,
+                    qubit: 3,
+                    fidelity: 0.9,
+                },
             ],
         );
         let support = vec![true, true, true, true];
@@ -167,7 +204,7 @@ mod tests {
         // Spanning tree of the cycle drops one edge; the correction pairs
         // the two defects along tree paths. Applying it must clear both:
         // verify by parity check on each vertex.
-        let mut parity = vec![0usize; 5];
+        let mut parity = [0usize; 5];
         for &e in &correction {
             let edge = g.edge(e);
             parity[edge.a] += 1;
@@ -184,8 +221,18 @@ mod tests {
         let g = DecodingGraph::from_edges(
             3,
             vec![
-                GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 },
-                GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 },
+                GraphEdge {
+                    a: 0,
+                    b: 1,
+                    qubit: 0,
+                    fidelity: 0.9,
+                },
+                GraphEdge {
+                    a: 1,
+                    b: 2,
+                    qubit: 1,
+                    fidelity: 0.9,
+                },
             ],
         );
         let support = vec![true, true];

@@ -32,10 +32,7 @@ const MIN_FIDELITY: f64 = 0.0;
 ///
 /// Panics if `rho` is not a number in `[0, 1]`.
 pub fn edge_weight(rho: f64) -> f64 {
-    assert!(
-        (0.0..=1.0).contains(&rho),
-        "fidelity {rho} outside [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&rho), "fidelity {rho} outside [0, 1]");
     let rho = rho.clamp(MIN_FIDELITY, MAX_FIDELITY);
     -(1.0 - rho).ln()
 }

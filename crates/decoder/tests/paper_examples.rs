@@ -90,10 +90,30 @@ fn fig5_growth_speed_ordering() {
     let g = DecodingGraph::from_edges(
         4,
         vec![
-            GraphEdge { a: 0, b: 1, qubit: 0, fidelity: 0.9 }, // erased below
-            GraphEdge { a: 1, b: 2, qubit: 1, fidelity: 0.9 }, // support
-            GraphEdge { a: 2, b: 3, qubit: 2, fidelity: 0.9 }, // core
-            GraphEdge { a: 3, b: 4, qubit: 3, fidelity: 0.9 }, // to boundary
+            GraphEdge {
+                a: 0,
+                b: 1,
+                qubit: 0,
+                fidelity: 0.9,
+            }, // erased below
+            GraphEdge {
+                a: 1,
+                b: 2,
+                qubit: 1,
+                fidelity: 0.9,
+            }, // support
+            GraphEdge {
+                a: 2,
+                b: 3,
+                qubit: 2,
+                fidelity: 0.9,
+            }, // core
+            GraphEdge {
+                a: 3,
+                b: 4,
+                qubit: 3,
+                fidelity: 0.9,
+            }, // to boundary
         ],
     );
     // Fig. 5's illustrative speeds.
@@ -113,7 +133,10 @@ fn fig5_growth_speed_ordering() {
     // frontier: 4 + 8 + 8 = 20 rounds total.
     let cfg = GrowthConfig::weighted(speeds);
     let out = grow_clusters(&g, &[1], &cfg).unwrap();
-    assert!(out.grown.iter().all(|&b| b), "all edges grow to reach boundary");
+    assert!(
+        out.grown.iter().all(|&b| b),
+        "all edges grow to reach boundary"
+    );
     assert_eq!(out.rounds, 20);
     // The peeling decoder then flushes the defect to the boundary.
     let correction = peel(&g, &out.grown, &[1]).unwrap();
@@ -145,7 +168,10 @@ fn purification_chain_converges_upward() {
         assert!(rho > prev);
         prev = rho;
     }
-    assert!(rho > 0.95, "six purification rounds should exceed 0.95, got {rho}");
+    assert!(
+        rho > 0.95,
+        "six purification rounds should exceed 0.95, got {rho}"
+    );
 }
 
 /// Below threshold, larger codes should not do *worse* on aggregate. This

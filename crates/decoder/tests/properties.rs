@@ -64,15 +64,13 @@ fn graph_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<WeightedEdg
         let m = all_pairs.len();
         (
             Just(n),
-            proptest::collection::vec(proptest::option::of(0u32..40), m).prop_map(
-                move |weights| {
-                    all_pairs
-                        .iter()
-                        .zip(weights)
-                        .filter_map(|(&(u, v), w)| w.map(|w| (u, v, w as f64)))
-                        .collect::<Vec<_>>()
-                },
-            ),
+            proptest::collection::vec(proptest::option::of(0u32..40), m).prop_map(move |weights| {
+                all_pairs
+                    .iter()
+                    .zip(weights)
+                    .filter_map(|(&(u, v), w)| w.map(|w| (u, v, w as f64)))
+                    .collect::<Vec<_>>()
+            }),
         )
     })
 }

@@ -25,10 +25,7 @@ fn rotated_single_errors_corrected_by_all_decoders() {
                 ("sn", sn.correction_for(&syndrome, &erased).unwrap()),
             ] {
                 let outcome = code.score_correction(&err, &correction);
-                assert!(
-                    outcome.is_success(),
-                    "{name} failed on {op} at qubit {q}"
-                );
+                assert!(outcome.is_success(), "{name} failed on {op} at qubit {q}");
             }
         }
     }
@@ -67,7 +64,9 @@ fn rotated_logical_error_rate_below_threshold_is_low() {
             let sample = model.sample(&mut rng);
             let syndrome = code.extract_syndrome(&sample.pauli);
             let correction = sn.correction_for(&syndrome, &sample.erased).unwrap();
-            !code.score_correction(&sample.pauli, &correction).is_success()
+            !code
+                .score_correction(&sample.pauli, &correction)
+                .is_success()
         })
         .count();
     let rate = failures as f64 / trials as f64;
@@ -88,7 +87,9 @@ fn rotated_larger_distance_better_below_threshold() {
                 let sample = model.sample(&mut rng);
                 let syndrome = code.extract_syndrome(&sample.pauli);
                 let correction = uf.correction_for(&syndrome, &sample.erased).unwrap();
-                !code.score_correction(&sample.pauli, &correction).is_success()
+                !code
+                    .score_correction(&sample.pauli, &correction)
+                    .is_success()
             })
             .count();
         rates.push(failures as f64 / trials as f64);

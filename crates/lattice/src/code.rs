@@ -64,7 +64,7 @@ impl SurfaceCode {
     /// least 3 — the configurations used throughout the paper (distances 3,
     /// 9, 11, 13, 15).
     pub fn new(distance: usize) -> Result<SurfaceCode, LatticeError> {
-        if distance < 3 || distance % 2 == 0 {
+        if distance < 3 || distance.is_multiple_of(2) {
             return Err(LatticeError::InvalidDistance(distance));
         }
         let side = 2 * distance - 1;

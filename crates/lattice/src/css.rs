@@ -174,7 +174,10 @@ mod tests {
         let mut err = PauliString::identity(9);
         err.set(4, Pauli::X);
         let id = PauliString::identity(9);
-        assert_eq!(code.css_score(&err, &err), code.score_correction(&err, &err));
+        assert_eq!(
+            code.css_score(&err, &err),
+            code.score_correction(&err, &err)
+        );
         assert_eq!(code.css_score(&err, &id), code.score_correction(&err, &id));
     }
 

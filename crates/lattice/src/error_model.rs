@@ -46,7 +46,10 @@ impl ErrorModel {
     ///
     /// Panics if `p` or `p_e` is outside `[0, 1]`.
     pub fn uniform_len(len: usize, p: f64, p_e: f64) -> ErrorModel {
-        assert!((0.0..=1.0).contains(&p), "pauli probability {p} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "pauli probability {p} not in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&p_e),
             "erasure probability {p_e} not in [0,1]"
@@ -81,12 +84,7 @@ impl ErrorModel {
     ///
     /// Panics if the partition does not match the code, or rates are outside
     /// `[0, 1]`.
-    pub fn dual_channel(
-        code: &SurfaceCode,
-        partition: &Partition,
-        p: f64,
-        p_e: f64,
-    ) -> ErrorModel {
+    pub fn dual_channel(code: &SurfaceCode, partition: &Partition, p: f64, p_e: f64) -> ErrorModel {
         assert_eq!(
             partition.len(),
             code.num_data_qubits(),
@@ -323,7 +321,10 @@ mod tests {
         let trials = 4000;
         for _ in 0..trials {
             let s = model.sample(&mut rng);
-            let idx = Pauli::ALL.iter().position(|&p| p == s.pauli.get(0)).unwrap();
+            let idx = Pauli::ALL
+                .iter()
+                .position(|&p| p == s.pauli.get(0))
+                .unwrap();
             counts[idx] += 1;
         }
         for &c in &counts {

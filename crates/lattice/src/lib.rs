@@ -97,7 +97,10 @@ impl fmt::Display for LatticeError {
                 )
             }
             LatticeError::LengthMismatch { expected, got } => {
-                write!(f, "expected one entry per data qubit ({expected}), got {got}")
+                write!(
+                    f,
+                    "expected one entry per data qubit ({expected}), got {got}"
+                )
             }
             LatticeError::InvalidProbability(p) => {
                 write!(f, "probability {p} outside [0, 1]")

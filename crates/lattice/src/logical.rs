@@ -72,11 +72,7 @@ impl SurfaceCode {
     ///
     /// Panics if `error` and `correction` do not both cover every data
     /// qubit.
-    pub fn score_correction(
-        &self,
-        error: &PauliString,
-        correction: &PauliString,
-    ) -> DecodeOutcome {
+    pub fn score_correction(&self, error: &PauliString, correction: &PauliString) -> DecodeOutcome {
         let residual = error * correction;
         let syndrome_cleared = self.extract_syndrome(&residual).is_trivial();
         let logical_failure = if syndrome_cleared {

@@ -168,20 +168,14 @@ mod tests {
             let code = SurfaceCode::new(d).unwrap();
             let part = code.core_partition(CoreTopology::Cross);
             assert_eq!(part.num_core(), 2 * d - 1);
-            assert_eq!(
-                part.num_support(),
-                code.num_data_qubits() - (2 * d - 1)
-            );
+            assert_eq!(part.num_support(), code.num_data_qubits() - (2 * d - 1));
         }
     }
 
     #[test]
     fn middle_row_and_column_have_d_qubits() {
         let code = SurfaceCode::new(7).unwrap();
-        assert_eq!(
-            code.core_partition(CoreTopology::MiddleRow).num_core(),
-            7
-        );
+        assert_eq!(code.core_partition(CoreTopology::MiddleRow).num_core(), 7);
         assert_eq!(
             code.core_partition(CoreTopology::MiddleColumn).num_core(),
             7

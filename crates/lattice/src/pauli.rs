@@ -21,7 +21,9 @@ use std::ops::Mul;
 /// assert!(Pauli::X.anticommutes_with(Pauli::Z));
 /// assert!(!Pauli::X.anticommutes_with(Pauli::X));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Pauli {
     /// The identity.
     #[default]

@@ -44,7 +44,7 @@ impl RotatedSurfaceCode {
     ///
     /// [`LatticeError::InvalidDistance`] for even or too-small distances.
     pub fn new(distance: usize) -> Result<RotatedSurfaceCode, LatticeError> {
-        if distance < 3 || distance % 2 == 0 {
+        if distance < 3 || distance.is_multiple_of(2) {
             return Err(LatticeError::InvalidDistance(distance));
         }
         let d = distance as isize;
@@ -88,7 +88,7 @@ impl RotatedSurfaceCode {
             }
         }
 
-        let n = (distance * distance) as usize;
+        let n = distance * distance;
         let member_of = |stabs: &[Vec<usize>], q: usize| -> Vec<usize> {
             stabs
                 .iter()
@@ -225,14 +225,22 @@ impl RotatedSurfaceCode {
             .z_stabilizers
             .iter()
             .map(|s| {
-                s.iter().filter(|&&q| error.get(q).has_x_component()).count() % 2 == 1
+                s.iter()
+                    .filter(|&&q| error.get(q).has_x_component())
+                    .count()
+                    % 2
+                    == 1
             })
             .collect();
         let x_flips = self
             .x_stabilizers
             .iter()
             .map(|s| {
-                s.iter().filter(|&&q| error.get(q).has_z_component()).count() % 2 == 1
+                s.iter()
+                    .filter(|&&q| error.get(q).has_z_component())
+                    .count()
+                    % 2
+                    == 1
             })
             .collect();
         Syndrome { z_flips, x_flips }
@@ -247,11 +255,7 @@ impl RotatedSurfaceCode {
     }
 
     /// Scores a correction against the true error pattern.
-    pub fn score_correction(
-        &self,
-        error: &PauliString,
-        correction: &PauliString,
-    ) -> DecodeOutcome {
+    pub fn score_correction(&self, error: &PauliString, correction: &PauliString) -> DecodeOutcome {
         let residual = error * correction;
         DecodeOutcome {
             syndrome_cleared: self.extract_syndrome(&residual).is_trivial(),
@@ -342,21 +346,27 @@ mod tests {
         let code = RotatedSurfaceCode::new(7).unwrap();
         let core = code.paper_core();
         let d = code.distance();
-        // Every column (vertical logical-X axis) holds a core qubit.
-        for c in 0..d {
-            assert!(
-                (0..d).any(|r| core.contains(&(r * d + c))),
-                "column {c} unprotected"
-            );
-        }
-        // Every interior row (horizontal logical-Z axis) holds one; the
-        // top/bottom rows are protected by the middle column crossing them.
+        // Every row (horizontal logical-Z axis) holds a core qubit: the
+        // full middle column crosses all of them.
         for r in 0..d {
             assert!(
                 (0..d).any(|c| core.contains(&(r * d + c))),
                 "row {r} unprotected"
             );
         }
+        // Every interior column holds one via the trimmed middle row; the
+        // two boundary columns are the price of the 2d−3 core size the
+        // paper fixes (its row omits the boundary qubits).
+        for c in 1..d - 1 {
+            assert!(
+                (0..d).any(|r| core.contains(&(r * d + c))),
+                "column {c} unprotected"
+            );
+        }
+        assert!(
+            !(0..d).any(|r| core.contains(&(r * d))),
+            "boundary column joined the core"
+        );
     }
 
     #[test]

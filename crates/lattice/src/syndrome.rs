@@ -57,8 +57,7 @@ impl Syndrome {
 
     /// Total number of defects across both kinds.
     pub fn weight(&self) -> usize {
-        self.z_flips.iter().filter(|&&f| f).count()
-            + self.x_flips.iter().filter(|&&f| f).count()
+        self.z_flips.iter().filter(|&&f| f).count() + self.x_flips.iter().filter(|&&f| f).count()
     }
 }
 

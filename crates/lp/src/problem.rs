@@ -84,7 +84,10 @@ impl LinearProgram {
     /// Panics if `lower` is not finite, `lower > upper`, or `obj` is NaN.
     pub fn add_var(&mut self, obj: f64, lower: f64, upper: f64) -> Variable {
         assert!(lower.is_finite(), "lower bound must be finite");
-        assert!(!upper.is_nan() && upper >= lower, "invalid bounds [{lower}, {upper}]");
+        assert!(
+            !upper.is_nan() && upper >= lower,
+            "invalid bounds [{lower}, {upper}]"
+        );
         assert!(!obj.is_nan(), "objective coefficient is NaN");
         self.objective.push(obj);
         self.lower.push(lower);

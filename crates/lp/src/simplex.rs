@@ -19,6 +19,8 @@ const EPS: f64 = 1e-9;
 /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
 /// [`LpError::IterationLimit`] if the pivot budget is exhausted.
 pub fn solve(lp: &LinearProgram, direction: Direction) -> Result<Solution, LpError> {
+    let _span = surfnet_telemetry::span!("lp.solve");
+    surfnet_telemetry::count!("lp.solves");
     let n = lp.num_vars();
     if n == 0 {
         return Ok(Solution {
@@ -149,7 +151,14 @@ pub fn solve(lp: &LinearProgram, direction: Direction) -> Result<Solution, LpErr
                 }
             }
         }
-        run_simplex(&mut tableau, &mut basis, &mut cost, rhs_col, max_iters, bland_after)?;
+        run_simplex(
+            &mut tableau,
+            &mut basis,
+            &mut cost,
+            rhs_col,
+            max_iters,
+            bland_after,
+        )?;
         let phase1_obj = -cost[rhs_col];
         if phase1_obj > 1e-6 {
             return Err(LpError::Infeasible);
@@ -200,7 +209,14 @@ pub fn solve(lp: &LinearProgram, direction: Direction) -> Result<Solution, LpErr
             }
         }
     }
-    run_simplex(&mut tableau, &mut basis, &mut cost, rhs_col, max_iters, bland_after)?;
+    run_simplex(
+        &mut tableau,
+        &mut basis,
+        &mut cost,
+        rhs_col,
+        max_iters,
+        bland_after,
+    )?;
 
     // Extract the solution.
     let mut y = vec![0.0; total];
@@ -231,6 +247,7 @@ fn run_simplex(
 ) -> Result<(), LpError> {
     let m = tableau.len();
     for iter in 0..max_iters {
+        surfnet_telemetry::count!("lp.iterations");
         let use_bland = iter >= bland_after;
         // Entering column: most negative reduced cost (Dantzig) or first
         // negative (Bland).
@@ -298,6 +315,7 @@ fn pivot(
     enter: usize,
     rhs_col: usize,
 ) {
+    surfnet_telemetry::count!("lp.pivots");
     let p = tableau[leave][enter];
     debug_assert!(p.abs() > EPS, "pivot on near-zero element");
     let inv = 1.0 / p;
@@ -348,7 +366,11 @@ mod tests {
         lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
         let s = lp.minimize().unwrap();
-        assert!((s.objective - 2.5).abs() < 1e-7, "objective {}", s.objective);
+        assert!(
+            (s.objective - 2.5).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
         assert!((s.values[0] - 1.0).abs() < 1e-7);
         assert!((s.values[1] - 1.5).abs() < 1e-7);
     }
@@ -386,7 +408,11 @@ mod tests {
         let y = lp.add_var(1.0, -1.0, f64::INFINITY);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, -3.0);
         let s = lp.minimize().unwrap();
-        assert!((s.objective + 3.0).abs() < 1e-7, "objective {}", s.objective);
+        assert!(
+            (s.objective + 3.0).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
         assert!(lp.is_feasible(&s.values, 1e-7));
     }
 

@@ -21,11 +21,7 @@ fn feasible_lp(
         .map(|&c| lp.add_var(c, 0.0, 10.0))
         .collect();
     for (row, slack) in rows.iter().zip(&slacks) {
-        let terms: Vec<_> = vars
-            .iter()
-            .zip(row.iter())
-            .map(|(&v, &c)| (v, c))
-            .collect();
+        let terms: Vec<_> = vars.iter().zip(row.iter()).map(|(&v, &c)| (v, c)).collect();
         let lhs: f64 = row.iter().zip(&witness).map(|(c, w)| c * w).sum();
         // Constraint passes through lhs + slack ≥ lhs: witness satisfies Le.
         lp.add_constraint(&terms, ConstraintOp::Le, lhs + slack.abs());

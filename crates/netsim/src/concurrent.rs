@@ -9,8 +9,8 @@
 //! crossing that fiber drain the same pool. Requests are served round-robin
 //! with a rotating head so no transfer starves.
 
-use crate::execution::{ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
 use crate::entanglement::core_segment_fidelity;
+use crate::execution::{ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
 use crate::topology::Network;
 use rand::Rng;
 
@@ -54,6 +54,7 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
     config: &ExecutionConfig,
     rng: &mut R,
 ) -> Vec<ExecutionOutcome> {
+    let _span = surfnet_telemetry::span!("netsim.execute_concurrently");
     let mut pools: Vec<u32> = vec![0; net.num_fibers()];
     let mut states: Vec<TransferState> = plans
         .iter()
@@ -76,12 +77,17 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
     while tick < config.max_ticks && states.iter().any(|s| !s.finished && !s.failed) {
         tick += 1;
         // Refill pair pools.
+        let mut attempts = 0u64;
         for (f, pool) in pools.iter_mut().enumerate() {
             let cap = net.fiber(f).entanglement_capacity;
-            if *pool < cap && rng.gen::<f64>() < config.entanglement_rate {
-                *pool += 1;
+            if *pool < cap {
+                attempts += 1;
+                if rng.gen::<f64>() < config.entanglement_rate {
+                    *pool += 1;
+                }
             }
         }
+        surfnet_telemetry::count!("netsim.entanglement_attempts", attempts);
         // Rotating round-robin: the transfer served first changes each tick.
         let n = states.len();
         if n == 0 {
@@ -126,8 +132,7 @@ fn step_transfer(
             if state.core_pos < route.len() {
                 // Longest prefix of fibers ahead with available pairs.
                 let mut run = 0;
-                while state.core_pos + run < route.len() && pools[route[state.core_pos + run]] > 0
-                {
+                while state.core_pos + run < route.len() && pools[route[state.core_pos + run]] > 0 {
                     run += 1;
                 }
                 let needed = config.min_advance.min(route.len() - state.core_pos);
@@ -315,8 +320,7 @@ mod tests {
     fn empty_plan_list_is_trivial() {
         let net = line_net(2);
         let mut rng = SmallRng::seed_from_u64(6);
-        let outs =
-            execute_concurrently(&net, &[], &ExecutionConfig::default(), &mut rng);
+        let outs = execute_concurrently(&net, &[], &ExecutionConfig::default(), &mut rng);
         assert!(outs.is_empty());
     }
 }

@@ -117,6 +117,7 @@ pub fn execute_plan<R: Rng + ?Sized>(
     config: &ExecutionConfig,
     rng: &mut R,
 ) -> ExecutionOutcome {
+    let _span = surfnet_telemetry::span!("netsim.execute_plan");
     assert!(!plan.segments.is_empty(), "plan has no segments");
     // Sample per-transfer fiber failures once (crashes persist for the
     // whole transfer; Sec. V-B).
@@ -131,14 +132,13 @@ pub fn execute_plan<R: Rng + ?Sized>(
     };
     let mut cursor = plan.src;
     for seg in &plan.segments {
-        let support_route =
-            match recover_route(net, cursor, &seg.support_route, &failed) {
-                Some(r) => r,
-                None => {
-                    outcome.completed = false;
-                    break;
-                }
-            };
+        let support_route = match recover_route(net, cursor, &seg.support_route, &failed) {
+            Some(r) => r,
+            None => {
+                outcome.completed = false;
+                break;
+            }
+        };
         let support_end = *net.walk(cursor, &support_route).last().unwrap();
 
         // Support photons: one fiber per tick; loss accumulates per hop.
@@ -161,11 +161,7 @@ pub fn execute_plan<R: Rng + ?Sized>(
                 };
                 let ticks = advance_core(&route, config, rng);
                 match ticks {
-                    Some(t) => (
-                        core_segment_fidelity(net.path_fidelity(&route)),
-                        0.0,
-                        t,
-                    ),
+                    Some(t) => (core_segment_fidelity(net.path_fidelity(&route)), 0.0, t),
                     None => {
                         outcome.completed = false;
                         break;
@@ -218,10 +214,14 @@ fn advance_core<R: Rng + ?Sized>(
     }
     let mut ready = vec![false; len];
     let mut pos = 0usize; // fibers 0..pos already crossed
+    let mut attempts = 0u64;
     for tick in 1..=config.max_ticks {
         for r in ready.iter_mut().skip(pos) {
-            if !*r && rng.gen::<f64>() < config.entanglement_rate {
-                *r = true;
+            if !*r {
+                attempts += 1;
+                if rng.gen::<f64>() < config.entanglement_rate {
+                    *r = true;
+                }
             }
         }
         // Longest ready run starting at pos.
@@ -234,10 +234,12 @@ fn advance_core<R: Rng + ?Sized>(
             // Consume the pairs (teleportation + swapping) and advance.
             pos += run;
             if pos == len {
+                surfnet_telemetry::count!("netsim.entanglement_attempts", attempts);
                 return Some(tick);
             }
         }
     }
+    surfnet_telemetry::count!("netsim.entanglement_attempts", attempts);
     None
 }
 
@@ -313,12 +315,14 @@ pub fn execute_teleportation<R: Rng + ?Sized>(
     config: &ExecutionConfig,
     rng: &mut R,
 ) -> TeleportOutcome {
+    let _span = surfnet_telemetry::span!("netsim.execute_teleportation");
     let mut latency = 0u64;
     let mut fidelity = 1.0f64;
     // Waits for one raw pair; returns false on timeout.
     let wait_for_pair = |ticks: &mut u64, rng: &mut R| -> bool {
         loop {
             *ticks += 1;
+            surfnet_telemetry::count!("netsim.entanglement_attempts");
             if *ticks > config.max_ticks {
                 return false;
             }
@@ -337,22 +341,32 @@ pub fn execute_teleportation<R: Rng + ?Sized>(
             fidelity: 0.0,
         };
         if !wait_for_pair(&mut ticks, rng) {
-            return TeleportOutcome { latency: latency + ticks, ..fail };
+            return TeleportOutcome {
+                latency: latency + ticks,
+                ..fail
+            };
         }
         let mut rho = raw;
         let mut rounds = 0u32;
         while rounds < n_purify {
             if !wait_for_pair(&mut ticks, rng) {
-                return TeleportOutcome { latency: latency + ticks, ..fail };
+                return TeleportOutcome {
+                    latency: latency + ticks,
+                    ..fail
+                };
             }
             let success_prob = rho * raw + (1.0 - rho) * (1.0 - raw);
             if rng.gen::<f64>() < success_prob {
                 rho = purify(rho, raw);
                 rounds += 1;
+                surfnet_telemetry::count!("netsim.purification_rounds");
             } else {
                 // Both pairs are destroyed; restart the pump.
                 if !wait_for_pair(&mut ticks, rng) {
-                    return TeleportOutcome { latency: latency + ticks, ..fail };
+                    return TeleportOutcome {
+                        latency: latency + ticks,
+                        ..fail
+                    };
                 }
                 rho = raw;
                 rounds = 0;

@@ -217,10 +217,7 @@ mod tests {
             assert!(net.is_connected());
             assert_eq!(net.num_nodes(), config.num_nodes);
             assert_eq!(net.servers().len(), config.num_servers);
-            assert_eq!(
-                net.relays().len(),
-                config.num_servers + config.num_switches
-            );
+            assert_eq!(net.relays().len(), config.num_servers + config.num_switches);
             // BA edge count: C(m+1, 2) + m * (n - m - 1).
             let m = config.attachment;
             let expected = m * (m + 1) / 2 + m * (config.num_nodes - m - 1);

@@ -152,7 +152,7 @@ impl Network {
         if a == b || a >= self.nodes.len() || b >= self.nodes.len() {
             return Err(crate::NetError::InvalidFiber);
         }
-        if !(fidelity > 0.0 && fidelity <= 1.0) || !(0.0..=1.0).contains(&loss_prob) {
+        if fidelity <= 0.0 || fidelity > 1.0 || !(0.0..=1.0).contains(&loss_prob) {
             return Err(crate::NetError::InvalidFiber);
         }
         let id = self.fibers.len();

@@ -34,7 +34,7 @@ pub struct Formulation {
 /// `2f + 1` (b→a).
 pub fn directed_head(net: &Network, de: usize) -> NodeId {
     let fiber = net.fiber(de / 2);
-    if de % 2 == 0 {
+    if de.is_multiple_of(2) {
         fiber.b
     } else {
         fiber.a
@@ -44,7 +44,7 @@ pub fn directed_head(net: &Network, de: usize) -> NodeId {
 /// Tail (origin) of directed edge `de`.
 pub fn directed_tail(net: &Network, de: usize) -> NodeId {
     let fiber = net.fiber(de / 2);
-    if de % 2 == 0 {
+    if de.is_multiple_of(2) {
         fiber.a
     } else {
         fiber.b
@@ -269,7 +269,11 @@ mod tests {
         let sol = form.lp.maximize().unwrap();
         // Capacity: relays hold 100 ≥ 2 codes × 25 qubits; fibers hold 50
         // ≥ 2 × 7 pairs. Both codes schedule.
-        assert!((sol.value(form.y[0]) - 2.0).abs() < 1e-6, "Y = {}", sol.value(form.y[0]));
+        assert!(
+            (sol.value(form.y[0]) - 2.0).abs() < 1e-6,
+            "Y = {}",
+            sol.value(form.y[0])
+        );
     }
 
     #[test]

@@ -82,6 +82,7 @@ impl PurificationScheduler {
         net: &Network,
         requests: &[Request],
     ) -> Result<PurificationSchedule, RoutingError> {
+        let _span = surfnet_telemetry::span!("routing.schedule");
         let mut remaining: Vec<f64> = net
             .fibers()
             .iter()
@@ -214,9 +215,13 @@ mod tests {
         // N=9 needs 10 → 1 message.
         let net = net(10);
         let requests = vec![Request::new(0, 2, 8)];
-        let s1 = PurificationScheduler::new(1).schedule(&net, &requests).unwrap();
+        let s1 = PurificationScheduler::new(1)
+            .schedule(&net, &requests)
+            .unwrap();
         assert_eq!(s1.scheduled_per_request[0], 5);
-        let s9 = PurificationScheduler::new(9).schedule(&net, &requests).unwrap();
+        let s9 = PurificationScheduler::new(9)
+            .schedule(&net, &requests)
+            .unwrap();
         assert_eq!(s9.scheduled_per_request[0], 1);
         assert!(s1.throughput() > s9.throughput());
     }
@@ -247,7 +252,9 @@ mod tests {
         net.add_fiber(u0, b, 0.8, 2, 0.0).unwrap();
         net.add_fiber(b, u2, 0.8, 2, 0.0).unwrap();
         let requests = vec![Request::new(0, 3, 4)];
-        let s = PurificationScheduler::new(1).schedule(&net, &requests).unwrap();
+        let s = PurificationScheduler::new(1)
+            .schedule(&net, &requests)
+            .unwrap();
         // Each route supports one message (2 pairs per fiber, 2 needed).
         assert_eq!(s.scheduled_per_request[0], 2);
         // First assignment took the better route, second the worse.

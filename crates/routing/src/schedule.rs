@@ -76,7 +76,15 @@ impl Residual {
 
     /// Whether one code (Core `n`, Support `m`, entanglement channel used
     /// iff `dual`) fits along `route`.
-    pub fn fits(&self, net: &Network, src: NodeId, route: &[FiberId], n: u32, m: u32, dual: bool) -> bool {
+    pub fn fits(
+        &self,
+        net: &Network,
+        src: NodeId,
+        route: &[FiberId],
+        n: u32,
+        m: u32,
+        dual: bool,
+    ) -> bool {
         let qubits = (n + m) as f64;
         for &node in net.walk(src, route).iter() {
             if net.node(node).kind.is_relay() && self.node_capacity[node] < qubits {
@@ -98,7 +106,15 @@ impl Residual {
     /// # Panics
     ///
     /// Debug-panics if called without a prior successful [`Residual::fits`].
-    pub fn consume(&mut self, net: &Network, src: NodeId, route: &[FiberId], n: u32, m: u32, dual: bool) {
+    pub fn consume(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        route: &[FiberId],
+        n: u32,
+        m: u32,
+        dual: bool,
+    ) {
         let qubits = (n + m) as f64;
         for &node in net.walk(src, route).iter() {
             if net.node(node).kind.is_relay() {
@@ -192,14 +208,7 @@ pub fn plan_route(
     if !seg_fibers.is_empty() {
         segments.push(make_segment(&seg_fibers, mode, false));
     }
-    Some((
-        TransferPlan {
-            src,
-            dst,
-            segments,
-        },
-        corrections,
-    ))
+    Some((TransferPlan { src, dst, segments }, corrections))
 }
 
 fn make_segment(fibers: &[FiberId], mode: ChannelMode, correct_at_end: bool) -> PlannedSegment {
@@ -320,7 +329,7 @@ mod tests {
         let route = net.min_noise_path(0, 4).unwrap();
         let hop = (1.0f64 / 0.9).ln();
         let p_total = 4.0 * hop; // full plain noise
-        // Dual-channel total: (7/25)*0.5*4h + (18/25)*4h = 4h*(0.14+0.72) = 3.44h
+                                 // Dual-channel total: (7/25)*0.5*4h + (18/25)*4h = 4h*(0.14+0.72) = 3.44h
         let p = RoutingParams {
             n_core: 7,
             m_support: 18,

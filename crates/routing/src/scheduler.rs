@@ -7,9 +7,9 @@ use crate::params::RoutingParams;
 use crate::schedule::{plan_route, ChannelMode, Residual, Schedule, ScheduledCode};
 use crate::RoutingError;
 use surfnet_netsim::request::Request;
-use surfnet_netsim::topology::{FiberId, Network, NodeId};
 #[cfg(test)]
 use surfnet_netsim::topology::NodeKind;
+use surfnet_netsim::topology::{FiberId, Network, NodeId};
 
 /// Minimum-noise path that respects residual capacities for one code:
 /// every relay entered must hold `n + m` qubits, every fiber crossed must
@@ -145,6 +145,7 @@ pub fn assign_codes(
     capacity_factor: f64,
 ) -> Schedule {
     assert_eq!(requests.len(), quotas.len());
+    let _span = surfnet_telemetry::span!("routing.assign_codes");
     let dual = mode == ChannelMode::DualChannel;
     let mut residual = Residual::new(net, capacity_factor);
     let mut schedule = Schedule {
@@ -160,8 +161,10 @@ pub fn assign_codes(
             }
             let Some((route, plan, x)) = find_feasible_code(net, &residual, req, params, mode)
             else {
+                surfnet_telemetry::count!("routing.infeasible_attempts");
                 continue;
             };
+            surfnet_telemetry::count!("routing.codes_scheduled");
             residual.consume(net, req.src, &route, params.n_core, params.m_support, dual);
             schedule.codes.push(ScheduledCode {
                 request: k,
@@ -198,6 +201,7 @@ impl SurfNetScheduler {
     ///
     /// Propagates parameter validation and LP failures.
     pub fn schedule(&self, net: &Network, requests: &[Request]) -> Result<Schedule, RoutingError> {
+        let _span = surfnet_telemetry::span!("routing.schedule");
         self.params.validate()?;
         if requests.is_empty() {
             return Ok(Schedule::default());
@@ -253,6 +257,7 @@ impl RawScheduler {
     ///
     /// Propagates parameter validation and LP failures.
     pub fn schedule(&self, net: &Network, requests: &[Request]) -> Result<Schedule, RoutingError> {
+        let _span = surfnet_telemetry::span!("routing.schedule");
         self.params.validate()?;
         if requests.is_empty() {
             return Ok(Schedule::default());
@@ -305,6 +310,7 @@ impl GreedyScheduler {
     ///
     /// Propagates parameter validation failures.
     pub fn schedule(&self, net: &Network, requests: &[Request]) -> Result<Schedule, RoutingError> {
+        let _span = surfnet_telemetry::span!("routing.schedule");
         self.params.validate()?;
         let quotas: Vec<u32> = requests.iter().map(|r| r.num_codes).collect();
         Ok(assign_codes(
@@ -352,7 +358,9 @@ mod tests {
     fn surfnet_scheduler_schedules_and_plans() {
         let net = net();
         let requests = vec![Request::new(0, 4, 2), Request::new(5, 6, 1)];
-        let schedule = SurfNetScheduler::new(params()).schedule(&net, &requests).unwrap();
+        let schedule = SurfNetScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
         assert_eq!(schedule.total_scheduled(), 3);
         assert!((schedule.throughput() - 1.0).abs() < 1e-12);
         for code in &schedule.codes {
@@ -367,7 +375,9 @@ mod tests {
     fn raw_scheduler_uses_plain_channel() {
         let net = net();
         let requests = vec![Request::new(0, 4, 2)];
-        let schedule = RawScheduler::new(params()).schedule(&net, &requests).unwrap();
+        let schedule = RawScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
         assert!(schedule.total_scheduled() >= 2);
         for code in &schedule.codes {
             assert!(code.plan.segments.iter().all(|s| s.core_route.is_none()));
@@ -378,8 +388,12 @@ mod tests {
     fn greedy_matches_lp_when_resources_abound() {
         let net = net();
         let requests = vec![Request::new(0, 4, 2), Request::new(5, 6, 2)];
-        let lp = SurfNetScheduler::new(params()).schedule(&net, &requests).unwrap();
-        let greedy = GreedyScheduler::new(params()).schedule(&net, &requests).unwrap();
+        let lp = SurfNetScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
+        let greedy = GreedyScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
         assert_eq!(lp.total_scheduled(), greedy.total_scheduled());
     }
 
@@ -388,7 +402,9 @@ mod tests {
         let mut net = net();
         net.node_mut(1).capacity = 25; // s1 fits one code at a time
         let requests = vec![Request::new(0, 4, 4)];
-        let schedule = SurfNetScheduler::new(params()).schedule(&net, &requests).unwrap();
+        let schedule = SurfNetScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
         assert!(schedule.total_scheduled() <= 1);
     }
 
@@ -399,8 +415,12 @@ mod tests {
             net.fiber_mut(f).entanglement_capacity = 7;
         }
         let requests = vec![Request::new(0, 4, 3)];
-        let dual = SurfNetScheduler::new(params()).schedule(&net, &requests).unwrap();
-        let raw = RawScheduler::new(params()).schedule(&net, &requests).unwrap();
+        let dual = SurfNetScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
+        let raw = RawScheduler::new(params())
+            .schedule(&net, &requests)
+            .unwrap();
         assert!(dual.total_scheduled() <= 1);
         assert!(raw.total_scheduled() >= 2);
     }

@@ -8,8 +8,7 @@ use rand::SeedableRng;
 use surfnet_netsim::generate::{barabasi_albert, NetworkConfig};
 use surfnet_netsim::request::random_requests;
 use surfnet_routing::{
-    GreedyScheduler, PurificationScheduler, RawScheduler, RoutingParams, Schedule,
-    SurfNetScheduler,
+    GreedyScheduler, PurificationScheduler, RawScheduler, RoutingParams, Schedule, SurfNetScheduler,
 };
 
 fn params() -> RoutingParams {

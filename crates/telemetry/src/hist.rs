@@ -1,0 +1,114 @@
+//! Log-scale latency histogram.
+//!
+//! Nanosecond durations are bucketed on a log₂ scale with 16 linear
+//! sub-buckets per octave (≈ 6 % relative resolution), the same layout
+//! HdrHistogram-style recorders use. Values below 16 ns get exact buckets.
+//! The bucket count is fixed so per-thread shards are plain `u64` arrays
+//! that merge into the global shard with relaxed atomic adds — no locks on
+//! any hot or merge path.
+
+/// Sub-buckets per octave above the exact region.
+const SUBS: usize = 16;
+/// Exact buckets for values 0..16 ns.
+const EXACT: usize = 16;
+/// Number of octaves covered above the exact region (2^4 .. 2^63).
+const OCTAVES: usize = 60;
+
+/// Total number of buckets in a histogram.
+pub const BUCKETS: usize = EXACT + OCTAVES * SUBS;
+
+/// Maps a nanosecond value to its bucket index.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns < EXACT as u64 {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros() as usize; // >= 4
+    let sub = ((ns >> (octave - 4)) & 0xF) as usize;
+    let idx = EXACT + (octave - 4) * SUBS + sub;
+    idx.min(BUCKETS - 1)
+}
+
+/// Representative (midpoint) nanosecond value of a bucket.
+pub fn bucket_value(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let octave = 4 + (idx - EXACT) / SUBS;
+    let sub = ((idx - EXACT) % SUBS) as u64;
+    let width = 1u64 << (octave - 4);
+    (1u64 << octave) + sub * width + width / 2
+}
+
+/// Returns the value at quantile `q` (0.0..=1.0) of a bucketized
+/// distribution with `count` recorded values, or 0 if empty.
+pub fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the q-th value, 1-based, clamped into [1, count].
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (idx, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_value(idx);
+        }
+    }
+    bucket_value(BUCKETS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        for ns in 0..16u64 {
+            assert_eq!(bucket_index(ns), ns as usize);
+            assert_eq!(bucket_value(ns as usize), ns);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut last = 0;
+        for ns in [16u64, 17, 100, 1_000, 10_000, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(ns);
+            assert!(idx >= last, "index must not decrease");
+            last = idx;
+            let rep = bucket_value(idx);
+            // Midpoint representative is within ~6% of the true value.
+            let rel = (rep as f64 - ns as f64).abs() / ns as f64;
+            assert!(rel < 0.07, "ns={ns} rep={rep} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn round_trip_stays_in_bucket() {
+        for ns in [0u64, 5, 16, 31, 32, 999, 12345, 1 << 40] {
+            let idx = bucket_index(ns);
+            assert_eq!(
+                bucket_index(bucket_value(idx)),
+                idx,
+                "representative of bucket {idx} must stay in it (ns={ns})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_fill() {
+        let mut buckets = vec![0u64; BUCKETS];
+        // 100 values: 1000ns x50, 2000ns x45, 100000ns x5.
+        buckets[bucket_index(1_000)] += 50;
+        buckets[bucket_index(2_000)] += 45;
+        buckets[bucket_index(100_000)] += 5;
+        let p50 = quantile(&buckets, 100, 0.50);
+        let p95 = quantile(&buckets, 100, 0.95);
+        let p99 = quantile(&buckets, 100, 0.99);
+        assert!((900..=1100).contains(&p50), "p50={p50}");
+        assert!((1800..=2200).contains(&p95), "p95={p95}");
+        assert!((90_000..=110_000).contains(&p99), "p99={p99}");
+        assert_eq!(quantile(&buckets, 0, 0.5), 0);
+    }
+}

@@ -1,0 +1,764 @@
+//! `surfnet-telemetry`: structured tracing for the SurfNet stack.
+//!
+//! Dependency-free instrumentation used across the decoder, LP, netsim,
+//! routing, and pipeline crates:
+//!
+//! * **Named counters** — monotonically increasing `u64`s (simplex pivots,
+//!   entanglement attempts, cluster-growth rounds, …);
+//! * **Span timers** — wall-time accumulators with a log-scale latency
+//!   histogram per timer, reporting count / total / mean / p50 / p95 / p99;
+//! * **Exporters** — a machine-readable JSON dump and an aligned table,
+//!   selected with the `SURFNET_TELEMETRY=json|table` environment switch.
+//!
+//! # Architecture
+//!
+//! Recording is **thread-local**: each thread owns a plain-`u64` shard,
+//! so instrumented hot loops in `parallel_trials` / `parallel_map` workers
+//! never contend on shared cache lines and never take a lock. When a thread
+//! exits (or [`flush`] is called) its shard merges into the global shard
+//! with relaxed atomic adds — a lock-free merge that keeps the aggregate
+//! exact regardless of scheduling order, so parallel runs stay
+//! deterministic.
+//!
+//! When telemetry is disabled (the default, [`Telemetry::disabled`]) every
+//! recording macro reduces to one relaxed atomic load and a branch —
+//! near-zero overhead verified by `benches/telemetry_overhead.rs` in
+//! `surfnet-bench`.
+//!
+//! # Examples
+//!
+//! ```
+//! use surfnet_telemetry::{self as telemetry, Telemetry};
+//!
+//! let _t = Telemetry::enabled();
+//! for _ in 0..3 {
+//!     let _span = telemetry::span!("demo.phase");
+//!     telemetry::count!("demo.items", 2);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(6));
+//! assert_eq!(snap.timer("demo.phase").unwrap().count, 3);
+//! telemetry::reset();
+//! let _t = Telemetry::disabled();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Hard cap on distinct metrics; registration panics beyond it. Generous:
+/// the workspace registers a few dozen.
+pub const MAX_METRICS: usize = 512;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Output mode selected by [`Telemetry::init_from_env`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Telemetry off (no recording, no report).
+    Off,
+    /// Record and render [`render_json`] after a run.
+    Json,
+    /// Record and render [`render_table`] after a run.
+    Table,
+}
+
+/// Returns whether recording is currently enabled.
+///
+/// This is the only check on disabled hot paths: one relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Global configuration handle.
+///
+/// The constructors are process-global switches (telemetry state is global
+/// by design — instrumentation points live deep inside worker threads); the
+/// returned value is just a witness for readable call sites.
+#[derive(Debug, Clone, Copy)]
+pub struct Telemetry;
+
+impl Telemetry {
+    /// Disables recording. Hot paths reduce to a load + branch.
+    pub fn disabled() -> Telemetry {
+        ENABLED.store(false, Ordering::Relaxed);
+        Telemetry
+    }
+
+    /// Enables recording.
+    pub fn enabled() -> Telemetry {
+        ENABLED.store(true, Ordering::Relaxed);
+        Telemetry
+    }
+
+    /// Reads `SURFNET_TELEMETRY` (`json` or `table`, anything else = off),
+    /// enables recording accordingly, and returns the selected mode.
+    pub fn init_from_env() -> Mode {
+        let value = std::env::var("SURFNET_TELEMETRY")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .unwrap_or_default();
+        let mode = match value.as_str() {
+            "json" => Mode::Json,
+            "table" => Mode::Table,
+            _ => Mode::Off,
+        };
+        MODE.store(
+            match mode {
+                Mode::Off => 0,
+                Mode::Json => 1,
+                Mode::Table => 2,
+            },
+            Ordering::Relaxed,
+        );
+        ENABLED.store(mode != Mode::Off, Ordering::Relaxed);
+        mode
+    }
+
+    /// The mode selected by the last [`Telemetry::init_from_env`] call.
+    pub fn mode() -> Mode {
+        match MODE.load(Ordering::Relaxed) {
+            1 => Mode::Json,
+            2 => Mode::Table,
+            _ => Mode::Off,
+        }
+    }
+}
+
+/// Renders the current snapshot in the mode chosen via the environment
+/// (`None` when telemetry is off) — the one-liner experiment binaries call
+/// after a figure run.
+pub fn env_report() -> Option<String> {
+    match Telemetry::mode() {
+        Mode::Off => None,
+        Mode::Json => Some(render_json(&snapshot())),
+        Mode::Table => Some(render_table(&snapshot())),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Timer,
+}
+
+struct Meta {
+    name: &'static str,
+    kind: Kind,
+}
+
+/// Global shard: atomics accumulated into by thread-shard merges.
+struct Registry {
+    names: Mutex<Vec<Meta>>,
+    counts: Vec<AtomicU64>,
+    sums: Vec<AtomicU64>,
+    hists: Vec<OnceLock<Box<[AtomicU64]>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        names: Mutex::new(Vec::new()),
+        counts: (0..MAX_METRICS).map(|_| AtomicU64::new(0)).collect(),
+        sums: (0..MAX_METRICS).map(|_| AtomicU64::new(0)).collect(),
+        hists: (0..MAX_METRICS).map(|_| OnceLock::new()).collect(),
+    })
+}
+
+fn register(name: &'static str, kind: Kind) -> u32 {
+    let reg = registry();
+    let mut names = reg.names.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(id) = names.iter().position(|m| m.name == name) {
+        assert!(
+            names[id].kind == kind,
+            "metric {name:?} registered as both counter and timer"
+        );
+        return id as u32;
+    }
+    assert!(names.len() < MAX_METRICS, "too many metrics (MAX_METRICS)");
+    names.push(Meta { name, kind });
+    (names.len() - 1) as u32
+}
+
+/// Handle to a named counter. Cheap to copy; resolve once with
+/// [`counter`] (the [`count!`] macro caches the handle per call site).
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    id: u32,
+}
+
+/// Registers (or finds) the counter `name`.
+pub fn counter(name: &'static str) -> Counter {
+    Counter {
+        id: register(name, Kind::Counter),
+    }
+}
+
+impl Counter {
+    /// Adds `n` if telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.add_unconditional(n);
+        }
+    }
+
+    /// Adds 1 if telemetry is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds without the enabled check (the macro does the check first).
+    #[doc(hidden)]
+    #[inline]
+    pub fn add_unconditional(&self, n: u64) {
+        let id = self.id as usize;
+        SHARD.with(|s| s.borrow_mut().counts[id] += n);
+    }
+}
+
+/// Handle to a named span timer. Cheap to copy; resolve once with
+/// [`timer`] (the [`span!`] macro caches the handle per call site).
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    id: u32,
+}
+
+/// Registers (or finds) the timer `name`.
+pub fn timer(name: &'static str) -> Timer {
+    Timer {
+        id: register(name, Kind::Timer),
+    }
+}
+
+impl Timer {
+    /// Starts a span; the elapsed wall time records when the guard drops.
+    #[inline]
+    pub fn start(&self) -> Span {
+        Span {
+            id: self.id,
+            start: if enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Records an externally measured duration in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if enabled() {
+            let id = self.id as usize;
+            SHARD.with(|s| {
+                let mut shard = s.borrow_mut();
+                shard.counts[id] += 1;
+                shard.sums[id] += ns;
+                let h = shard.hists[id].get_or_insert_with(|| vec![0u64; hist::BUCKETS].into());
+                h[hist::bucket_index(ns)] += 1;
+            });
+        }
+    }
+
+    /// Times one closure invocation.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _span = self.start();
+        f()
+    }
+}
+
+/// RAII guard recording elapsed wall time into its [`Timer`] on drop.
+/// Inert (records nothing) when telemetry was disabled at start.
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span {
+    id: u32,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A guard that records nothing (disabled mode).
+    #[inline]
+    pub fn inert() -> Span {
+        Span { id: 0, start: None }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            Timer { id: self.id }.record_ns(ns);
+        }
+    }
+}
+
+/// Per-call-site counter increment: `count!("lp.pivots")` or
+/// `count!("netsim.attempts", n)`. The handle is resolved once per call
+/// site and only after the enabled check, so disabled cost is one load.
+#[macro_export]
+macro_rules! count {
+    ($name:expr) => {
+        $crate::count!($name, 1u64)
+    };
+    ($name:expr, $n:expr) => {
+        if $crate::enabled() {
+            static __SURFNET_COUNTER: ::std::sync::OnceLock<$crate::Counter> =
+                ::std::sync::OnceLock::new();
+            __SURFNET_COUNTER
+                .get_or_init(|| $crate::counter($name))
+                .add_unconditional($n as u64);
+        }
+    };
+}
+
+/// Per-call-site span timer: `let _span = span!("decoder.decode");`.
+/// Returns an inert guard when disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            static __SURFNET_TIMER: ::std::sync::OnceLock<$crate::Timer> =
+                ::std::sync::OnceLock::new();
+            __SURFNET_TIMER.get_or_init(|| $crate::timer($name)).start()
+        } else {
+            $crate::Span::inert()
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local shard + lock-free merge.
+
+struct LocalShard {
+    counts: Vec<u64>,
+    sums: Vec<u64>,
+    hists: Vec<Option<Box<[u64]>>>,
+}
+
+impl LocalShard {
+    fn new() -> LocalShard {
+        LocalShard {
+            counts: vec![0; MAX_METRICS],
+            sums: vec![0; MAX_METRICS],
+            hists: (0..MAX_METRICS).map(|_| None).collect(),
+        }
+    }
+
+    /// Merges this shard into the global atomics and zeroes it. Lock-free:
+    /// nothing but relaxed `fetch_add`s on the global shard.
+    fn merge_into_global(&mut self) {
+        let reg = registry();
+        for (id, c) in self.counts.iter_mut().enumerate() {
+            if *c != 0 {
+                reg.counts[id].fetch_add(*c, Ordering::Relaxed);
+                *c = 0;
+            }
+        }
+        for (id, s) in self.sums.iter_mut().enumerate() {
+            if *s != 0 {
+                reg.sums[id].fetch_add(*s, Ordering::Relaxed);
+                *s = 0;
+            }
+        }
+        for (id, h) in self.hists.iter_mut().enumerate() {
+            if let Some(local) = h.take() {
+                let global = reg.hists[id].get_or_init(|| {
+                    (0..hist::BUCKETS)
+                        .map(|_| AtomicU64::new(0))
+                        .collect::<Vec<_>>()
+                        .into()
+                });
+                for (bucket, &v) in global.iter().zip(local.iter()) {
+                    if v != 0 {
+                        bucket.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LocalShard {
+    fn drop(&mut self) {
+        self.merge_into_global();
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<LocalShard> = RefCell::new(LocalShard::new());
+}
+
+/// Merges the calling thread's shard into the global aggregate.
+///
+/// Worker threads merge automatically when they exit; long-lived threads
+/// (e.g. the main thread, before rendering a report) call this explicitly.
+/// [`snapshot`] flushes the calling thread itself.
+pub fn flush() {
+    SHARD.with(|s| s.borrow_mut().merge_into_global());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + rendering.
+
+/// Aggregated statistics of one timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerStats {
+    /// Timer name.
+    pub name: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+    /// Mean nanoseconds per span.
+    pub mean_ns: f64,
+    /// Median (p50) nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Point-in-time aggregate of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Stats for every timer, registration order.
+    pub timers: Vec<TimerStats>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Stats of the timer `name`, if registered.
+    pub fn timer(&self, name: &str) -> Option<&TimerStats> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+}
+
+/// Takes a snapshot of the global aggregate (flushing the calling thread's
+/// shard first). Threads still running keep unmerged local data; in the
+/// pipeline all workers are joined before reporting.
+pub fn snapshot() -> Snapshot {
+    flush();
+    let reg = registry();
+    let names = reg.names.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut snap = Snapshot::default();
+    for (id, meta) in names.iter().enumerate() {
+        match meta.kind {
+            Kind::Counter => {
+                snap.counters.push((
+                    meta.name.to_string(),
+                    reg.counts[id].load(Ordering::Relaxed),
+                ));
+            }
+            Kind::Timer => {
+                let count = reg.counts[id].load(Ordering::Relaxed);
+                let total_ns = reg.sums[id].load(Ordering::Relaxed);
+                let buckets: Vec<u64> = match reg.hists[id].get() {
+                    Some(h) => h.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    None => vec![0; hist::BUCKETS],
+                };
+                snap.timers.push(TimerStats {
+                    name: meta.name.to_string(),
+                    count,
+                    total_ns,
+                    mean_ns: if count == 0 {
+                        0.0
+                    } else {
+                        total_ns as f64 / count as f64
+                    },
+                    p50_ns: hist::quantile(&buckets, count, 0.50),
+                    p95_ns: hist::quantile(&buckets, count, 0.95),
+                    p99_ns: hist::quantile(&buckets, count, 0.99),
+                });
+            }
+        }
+    }
+    snap
+}
+
+/// Zeroes every metric (global shard and the calling thread's shard).
+/// Registered names and call-site handles stay valid.
+pub fn reset() {
+    SHARD.with(|s| {
+        let mut shard = s.borrow_mut();
+        shard.counts.iter_mut().for_each(|c| *c = 0);
+        shard.sums.iter_mut().for_each(|c| *c = 0);
+        shard.hists.iter_mut().for_each(|h| *h = None);
+    });
+    let reg = registry();
+    for c in &reg.counts {
+        c.store(0, Ordering::Relaxed);
+    }
+    for s in &reg.sums {
+        s.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.hists {
+        if let Some(h) = h.get() {
+            for b in h.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders a snapshot as two aligned text tables (timers, then counters).
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::from("telemetry: per-stage timers\n");
+    let headers = ["span", "count", "total", "mean", "p50", "p95", "p99"];
+    let mut rows: Vec<[String; 7]> = Vec::with_capacity(snap.timers.len());
+    for t in &snap.timers {
+        rows.push([
+            t.name.clone(),
+            t.count.to_string(),
+            fmt_ns(t.total_ns as f64),
+            fmt_ns(t.mean_ns),
+            fmt_ns(t.p50_ns as f64),
+            fmt_ns(t.p95_ns as f64),
+            fmt_ns(t.p99_ns as f64),
+        ]);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let push_row = |out: &mut String, cells: &[&str]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w.saturating_sub(cell.len())));
+        }
+        out.push('\n');
+    };
+    push_row(&mut out, &headers);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    push_row(
+        &mut out,
+        &rule.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in &rows {
+        push_row(
+            &mut out,
+            &row.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+    }
+    out.push_str("telemetry: counters\n");
+    let name_w = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(7)
+        .max("counter".len());
+    out.push_str(&format!("{:<name_w$}  value\n", "counter"));
+    out.push_str(&format!("{}  -----\n", "-".repeat(name_w)));
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{name:<name_w$}  {value}\n"));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a single-line JSON object:
+/// `{"counters":{..},"timers":{name:{count,total_ns,mean_ns,p50_ns,p95_ns,p99_ns},..}}`.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), value));
+    }
+    out.push_str("},\"timers\":{");
+    for (i, t) in snap.timers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"total_ns\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+            json_escape(&t.name),
+            t.count,
+            t.total_ns,
+            t.mean_ns,
+            t.p50_ns,
+            t.p95_ns,
+            t.p99_ns
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Telemetry state is process-global, so every test here runs under one
+    // lock to avoid cross-test interference.
+    fn with_isolated<R>(f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        let _t = Telemetry::enabled();
+        let r = f();
+        let _t = Telemetry::disabled();
+        reset();
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        with_isolated(|| {
+            let c = counter("test.counter");
+            c.add(3);
+            c.incr();
+            assert_eq!(snapshot().counter("test.counter"), Some(4));
+        });
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_isolated(|| {
+            let _t = Telemetry::disabled();
+            count!("test.disabled");
+            let _span = span!("test.disabled-span");
+            drop(_span);
+            let _t = Telemetry::enabled();
+            assert_eq!(snapshot().counter("test.disabled").unwrap_or(0), 0);
+            assert!(snapshot()
+                .timer("test.disabled-span")
+                .is_none_or(|t| t.count == 0));
+        });
+    }
+
+    #[test]
+    fn spans_record_durations_with_percentiles() {
+        with_isolated(|| {
+            let t = timer("test.span");
+            for ns in [1_000u64, 2_000, 3_000, 100_000] {
+                t.record_ns(ns);
+            }
+            let snap = snapshot();
+            let stats = snap.timer("test.span").unwrap();
+            assert_eq!(stats.count, 4);
+            assert_eq!(stats.total_ns, 106_000);
+            assert!(stats.p50_ns >= 1_800 && stats.p50_ns <= 2_200, "{stats:?}");
+            assert!(stats.p99_ns >= 90_000, "{stats:?}");
+        });
+    }
+
+    #[test]
+    fn cross_thread_merge_is_exact() {
+        with_isolated(|| {
+            let c = counter("test.threads");
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..1000 {
+                            c.add(1);
+                        }
+                        // Shard merges on thread exit.
+                    });
+                }
+            });
+            assert_eq!(snapshot().counter("test.threads"), Some(8000));
+        });
+    }
+
+    #[test]
+    fn macros_cache_handles_per_call_site() {
+        with_isolated(|| {
+            for _ in 0..10 {
+                count!("test.macro", 2);
+                let _span = span!("test.macro-span");
+            }
+            let snap = snapshot();
+            assert_eq!(snap.counter("test.macro"), Some(20));
+            assert_eq!(snap.timer("test.macro-span").unwrap().count, 10);
+        });
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        with_isolated(|| {
+            count!("test.reset", 5);
+            assert_eq!(snapshot().counter("test.reset"), Some(5));
+            reset();
+            assert_eq!(snapshot().counter("test.reset"), Some(0));
+        });
+    }
+
+    #[test]
+    fn renderers_cover_all_metrics() {
+        with_isolated(|| {
+            count!("test.render-counter", 7);
+            timer("test.render-timer").record_ns(1_500);
+            let snap = snapshot();
+            let table = render_table(&snap);
+            assert!(table.contains("test.render-counter"));
+            assert!(table.contains("test.render-timer"));
+            assert!(table.contains("p99"));
+            let json = render_json(&snap);
+            assert!(json.contains("\"test.render-counter\":7"));
+            assert!(json.contains("\"count\":1"));
+            assert!(json.starts_with('{') && json.ends_with('}'));
+        });
+    }
+
+    #[test]
+    fn env_mode_parsing() {
+        // Do not set the env var (tests run in parallel); exercise the
+        // default path only.
+        std::env::remove_var("SURFNET_TELEMETRY");
+        assert_eq!(Telemetry::init_from_env(), Mode::Off);
+        assert!(!enabled());
+        assert!(env_report().is_none());
+    }
+}

@@ -21,7 +21,14 @@ fn main() {
         trials
     );
     for decoder in [DecoderKind::UnionFind, DecoderKind::SurfNet] {
-        let curves = fig8::run(decoder, &distances, &rates, fig8::ERASURE_RATE, trials, 1234);
+        let curves = fig8::run(
+            decoder,
+            &distances,
+            &rates,
+            fig8::ERASURE_RATE,
+            trials,
+            1234,
+        );
         println!("{}", fig8::render(&curves));
     }
     println!("(paper reference: Union-Find ≈ 7.1%, SurfNet Decoder ≈ 7.25%)");

@@ -53,12 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ExecutionConfig::default()
     };
     let outcome = execute_plan(&net, &plan, &config, &mut rng);
-    println!("transfer completed: {} in {} ticks", outcome.completed, outcome.latency);
+    println!(
+        "transfer completed: {} in {} ticks",
+        outcome.completed, outcome.latency
+    );
     for (i, seg) in outcome.segments.iter().enumerate() {
         println!(
             "segment {}: core fidelity {:.4} (entanglement channel, noise halved), \
              support fidelity {:.4}, support erasure prob {:.4}, EC at end: {}",
-            i, seg.core_fidelity, seg.support_fidelity, seg.support_erasure_prob,
+            i,
+            seg.core_fidelity,
+            seg.support_fidelity,
+            seg.support_erasure_prob,
             seg.corrected_at_end
         );
     }

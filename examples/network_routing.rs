@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let requests = random_requests(&net, 5, 3, &mut rng);
     for (k, r) in requests.iter().enumerate() {
-        println!("request {k}: user {} -> user {} ({} codes)", r.src, r.dst, r.num_codes);
+        println!(
+            "request {k}: user {} -> user {} ({} codes)",
+            r.src, r.dst, r.num_codes
+        );
     }
 
     let params = RoutingParams {
@@ -49,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         schedule.throughput()
     );
     for code in schedule.codes.iter().take(5) {
-        let hops: usize = code.plan.segments.iter().map(|s| s.support_route.len()).sum();
+        let hops: usize = code
+            .plan
+            .segments
+            .iter()
+            .map(|s| s.support_route.len())
+            .sum();
         println!(
             "  request {} via {} hops, {} segment(s), {} error correction(s)",
             code.request,

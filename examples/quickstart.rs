@@ -60,8 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Monte-Carlo: logical error rates over many transmissions.
     let trials = 200;
     for (name, failures) in [
-        ("union-find", failure_count(&UnionFindDecoder::from_model(&code, &model), &code, &model, trials, 7)),
-        ("surfnet", failure_count(&SurfNetDecoder::from_model(&code, &model), &code, &model, trials, 7)),
+        (
+            "union-find",
+            failure_count(
+                &UnionFindDecoder::from_model(&code, &model),
+                &code,
+                &model,
+                trials,
+                7,
+            ),
+        ),
+        (
+            "surfnet",
+            failure_count(
+                &SurfNetDecoder::from_model(&code, &model),
+                &code,
+                &model,
+                trials,
+                7,
+            ),
+        ),
     ] {
         println!(
             "{name}: logical error rate {:.3} over {trials} transmissions",
@@ -80,6 +98,10 @@ fn failure_count(
 ) -> usize {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..trials)
-        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .filter(|_| {
+            !decoder
+                .decode_sample(code, &model.sample(&mut rng))
+                .is_success()
+        })
         .count()
 }

@@ -15,7 +15,11 @@ fn logical_error_rate(
 ) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let failures = (0..trials)
-        .filter(|_| !decoder.decode_sample(code, &model.sample(&mut rng)).is_success())
+        .filter(|_| {
+            !decoder
+                .decode_sample(code, &model.sample(&mut rng))
+                .is_success()
+        })
         .count();
     failures as f64 / trials as f64
 }
@@ -107,5 +111,8 @@ fn mwpm_strictly_better_than_nothing_below_threshold() {
     // Physical error rate per qubit is ~4%+erasures over 41 qubits; the
     // chance a random sample is error-free is tiny, yet decoding should
     // succeed most of the time.
-    assert!(rate < 0.25, "MWPM logical rate {rate} too high below threshold");
+    assert!(
+        rate < 0.25,
+        "MWPM logical rate {rate} too high below threshold"
+    );
 }

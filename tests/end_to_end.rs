@@ -44,7 +44,9 @@ fn schedules_respect_capacities_end_to_end() {
     let net = barabasi_albert(&NetworkConfig::default(), &mut rng).unwrap();
     let requests = random_requests(&net, 6, 3, &mut rng);
     let params = default_params();
-    let schedule = SurfNetScheduler::new(params).schedule(&net, &requests).unwrap();
+    let schedule = SurfNetScheduler::new(params)
+        .schedule(&net, &requests)
+        .unwrap();
 
     let qubits = params.code_size() as i64;
     let mut node_load = vec![0i64; net.num_nodes()];
@@ -100,7 +102,11 @@ fn surfnet_beats_raw_fidelity_with_comparable_throughput() {
         raw.fidelity
     );
     // Throughputs are "similar" (same order of magnitude, not collapsed).
-    assert!(surfnet.throughput > 0.2, "SurfNet throughput {}", surfnet.throughput);
+    assert!(
+        surfnet.throughput > 0.2,
+        "SurfNet throughput {}",
+        surfnet.throughput
+    );
     assert!(raw.throughput > 0.2, "Raw throughput {}", raw.throughput);
 }
 
