@@ -1,0 +1,81 @@
+//! Diagnostic types shared by the lint registry and the CLI.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Should be fixed or allow-annotated; fails CI under `--deny-warnings`.
+    Warning,
+    /// Always fails the analyzer run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, pinned to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Kebab-case lint name (`panic-site`, `wall-clock`, ...).
+    pub lint: &'static str,
+    /// Severity the lint reports at.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path, self.line, self.severity, self.lint, self.message
+        )
+    }
+}
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics that survived suppression, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of findings silenced by `analyzer:allow` directives.
+    pub suppressed: usize,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the run should fail: errors always do, warnings only under
+    /// `deny_warnings`.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+}

@@ -1,0 +1,478 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyzer needs far less than a real parser: a stream of identifiers,
+//! punctuation, and string literals with line numbers, with comments and
+//! doc comments stripped (so a `println!` in a doc example is not a
+//! violation) and `// analyzer:allow(...)` directives captured. The scanner
+//! handles the full literal syntax that would otherwise break a naive
+//! splitter: nested block comments, escapes, raw strings (`r#"..."#`),
+//! byte strings, and the lifetime-vs-char-literal ambiguity.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String literal (regular, raw, or byte); `text` is the body.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Identifier name, punctuation character, or string-literal body.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A captured `analyzer:allow(<lint>): <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The lint name inside the parentheses.
+    pub lint: String,
+    /// The reason after the closing `):` (trimmed; may be empty).
+    pub reason: String,
+    /// Whether code tokens precede the comment on the same line
+    /// (a trailing allow applies to its own line, a standalone one to the
+    /// next code line).
+    pub trailing: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// All code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// All `analyzer:allow` directives found in comments.
+    pub allows: Vec<AllowDirective>,
+    /// Number of lines in the file.
+    pub num_lines: u32,
+}
+
+/// Scans `source` into tokens and allow directives.
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let mut out = Scan::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    // Tracks whether a code token has been emitted on the current line,
+    // to distinguish trailing from standalone allow comments.
+    let mut code_on_line = false;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {{
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line,
+            });
+            code_on_line = true;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): scan to end of line.
+                let start = i + 2;
+                let end = memchr_newline(bytes, start);
+                capture_allow(&mut out, &source[start..end], line, code_on_line);
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nestable.
+                let mut depth = 1usize;
+                let start = i + 2;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        code_on_line = false;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                if let Some(text) = source.get(start..end) {
+                    capture_allow(&mut out, text, line, code_on_line);
+                }
+            }
+            '"' => {
+                let (body, consumed, newlines) = scan_string(source, i, 0);
+                push!(TokenKind::Str, body);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_string(bytes, i) => {
+                // r"..." / r#"..."# / b"..." / br#"..."# — find the quote
+                // and the `#` count first.
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    j += 1;
+                }
+                let raw = bytes.get(j) == Some(&b'r');
+                if raw {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                j += hashes;
+                debug_assert_eq!(bytes.get(j), Some(&b'"'));
+                if raw {
+                    let (body, consumed, newlines) = scan_raw_string(source, j, hashes);
+                    push!(TokenKind::Str, body);
+                    line += newlines;
+                    i = j + consumed;
+                } else {
+                    let (body, consumed, newlines) = scan_string(source, j, 0);
+                    push!(TokenKind::Str, body);
+                    line += newlines;
+                    i = j + consumed;
+                }
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                let next = bytes.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(n) if (n as char).is_alphabetic() || n == b'_' => {
+                        // 'a is a lifetime unless the ident is followed by
+                        // a closing quote ('a' is a char).
+                        let mut j = i + 1;
+                        while j < bytes.len()
+                            && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                        {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    push!(TokenKind::Lifetime, source[i + 1..j].to_string());
+                    i = j;
+                } else {
+                    // Char literal: consume until unescaped closing quote.
+                    let mut j = i + 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => break, // malformed; recover
+                            _ => j += 1,
+                        }
+                    }
+                    push!(TokenKind::Char, String::new());
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                push!(TokenKind::Ident, source[i..j].to_string());
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if (b as char).is_alphanumeric() || b == b'_' {
+                        j += 1;
+                    } else if b == b'.'
+                        && !seen_dot
+                        && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Number, String::new());
+                i = j;
+            }
+            c => {
+                push!(TokenKind::Punct, c.to_string());
+                i += c.len_utf8();
+            }
+        }
+    }
+    out.num_lines = line;
+    out
+}
+
+fn starts_string(bytes: &[u8], i: usize) -> bool {
+    // At an `r` or `b`: is this the prefix of a (raw) string literal rather
+    // than an identifier? Look past `b`/`r`/`br` and any `#`s for a quote.
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'r') {
+            j += 1;
+        } else {
+            return bytes.get(j) == Some(&b'"');
+        }
+    } else if bytes[j] == b'r' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j + hashes) == Some(&b'#') {
+        hashes += 1;
+    }
+    // A plain `r` identifier followed by `#` is not a string; require the
+    // quote. `r"` with zero hashes is.
+    bytes.get(j + hashes) == Some(&b'"') && (i != j || hashes == 0)
+}
+
+/// Scans a regular string starting at the opening quote `start`.
+/// Returns `(body, bytes consumed incl. quotes, newlines inside)`.
+fn scan_string(source: &str, start: usize, _hashes: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut j = start + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                let body = source[start + 1..j.min(source.len())].to_string();
+                return (body, j + 1 - start, newlines);
+            }
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        source[start + 1..].to_string(),
+        bytes.len() - start,
+        newlines,
+    )
+}
+
+/// Scans a raw string whose opening quote is at `start` with `hashes`
+/// leading `#`s. Returns `(body, bytes consumed from the quote, newlines)`.
+fn scan_raw_string(source: &str, start: usize, hashes: usize) -> (String, usize, u32) {
+    let bytes = source.as_bytes();
+    let mut j = start + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                let body = source[start + 1..j].to_string();
+                return (body, j + 1 + hashes - start, newlines);
+            }
+        }
+        j += 1;
+    }
+    (
+        source[start + 1..].to_string(),
+        bytes.len() - start,
+        newlines,
+    )
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| from + p)
+        .unwrap_or(bytes.len())
+}
+
+/// Parses `analyzer:allow(<lint>): <reason>` out of a comment body.
+fn capture_allow(out: &mut Scan, comment: &str, line: u32, trailing: bool) {
+    let text = comment.trim_start_matches(['/', '!', '*']).trim();
+    let Some(rest) = text.strip_prefix("analyzer:allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        // Malformed directive: record with an empty lint so the registry
+        // can report it instead of silently ignoring the comment.
+        out.allows.push(AllowDirective {
+            line,
+            lint: String::new(),
+            reason: String::new(),
+            trailing,
+        });
+        return;
+    };
+    let lint = rest[..close].trim().to_string();
+    let after = &rest[close + 1..];
+    let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    out.allows.push(AllowDirective {
+        line,
+        lint,
+        reason,
+        trailing,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let s = scan("fn main() {\n    x.unwrap();\n}\n");
+        let unwrap = s
+            .tokens
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert_eq!(unwrap.line, 2);
+        assert_eq!(unwrap.kind, TokenKind::Ident);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(idents("// println! here\nfoo"), vec!["foo"]);
+        assert_eq!(idents("/* panic! */ bar"), vec!["bar"]);
+        assert_eq!(idents("/* outer /* nested */ still */ baz"), vec!["baz"]);
+        assert_eq!(idents("/// doc with HashMap\nqux"), vec!["qux"]);
+    }
+
+    #[test]
+    fn strings_keep_their_body_but_hide_contents_from_ident_stream() {
+        let s = scan(r#"span!("lp.solve") "has unwrap inside""#);
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["lp.solve", "has unwrap inside"]);
+        assert!(!idents(r#""unwrap""#).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let s = scan(r###"let x = r#"body "quoted" end"#; let y = b"bytes";"###);
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"body "quoted" end"#, "bytes"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate() {
+        let s = scan(r#""a\"b" tail"#);
+        assert_eq!(s.tokens[0].text, r#"a\"b"#);
+        assert_eq!(s.tokens[1].text, "tail");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            s.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let s = scan("for i in 0..10 { let f = 1.5; }");
+        let dots = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 2, "0..10 keeps both range dots");
+    }
+
+    #[test]
+    fn allow_directives_parsed() {
+        let src = "\
+// analyzer:allow(panic-site): provably unreachable\n\
+x.unwrap(); // analyzer:allow(panic-site): trailing case\n\
+// analyzer:allow(bad-one)\n";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 3);
+        assert_eq!(s.allows[0].lint, "panic-site");
+        assert_eq!(s.allows[0].reason, "provably unreachable");
+        assert!(!s.allows[0].trailing);
+        assert!(s.allows[1].trailing);
+        assert_eq!(s.allows[2].reason, "");
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let s = scan("\"a\nb\"\nafter");
+        let after = s.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,541 @@
+//! The lint registry and the six built-in lints.
+//!
+//! | lint | family | severity | scope |
+//! |------|--------|----------|-------|
+//! | `wall-clock` | determinism | warning | everything except `telemetry`/`bench` |
+//! | `hash-collections` | determinism | warning | library code of `decoder`/`netsim`/`routing`/`lattice` |
+//! | `unseeded-rng` | determinism | warning | everything except shims |
+//! | `panic-site` | panic-safety | warning | library code of `decoder`/`lp`/`netsim` |
+//! | `telemetry-name` | telemetry discipline | error | everything except `telemetry` |
+//! | `print-site` | workspace hygiene | warning | library code except `telemetry`/`bench` exporters |
+//!
+//! Test code (`tests/` files and `#[cfg(test)]`/`#[test]` regions) is
+//! exempt from every lint. Any finding can be suppressed with a
+//! `// analyzer:allow(<lint>): <reason>` comment on the same line or the
+//! line above; a directive without a reason is itself reported.
+
+use crate::diagnostics::{Diagnostic, Report, Severity};
+use crate::source::{FileKind, SourceFile};
+use surfnet_telemetry::catalog::{self, MetricKind};
+
+use crate::lexer::{Token, TokenKind};
+
+/// A single static check over one scanned source file.
+pub trait Lint {
+    /// Kebab-case lint name used in diagnostics and allow directives.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-lints`.
+    fn description(&self) -> &'static str;
+    /// Severity of this lint's findings.
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    /// Scans `file` and appends raw (pre-suppression) findings to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// The built-in lint set, in reporting order.
+pub fn default_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(WallClock),
+        Box::new(HashCollections),
+        Box::new(UnseededRng),
+        Box::new(PanicSite),
+        Box::new(TelemetryName),
+        Box::new(PrintSite),
+    ]
+}
+
+/// Name of the meta-lint reporting malformed/unknown allow directives.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// Runs every lint over `file`, applies `analyzer:allow` suppression, and
+/// folds the results into `report`.
+pub fn analyze_file(file: &SourceFile, lints: &[Box<dyn Lint>], report: &mut Report) {
+    report.files += 1;
+    let mut raw = Vec::new();
+    for lint in lints {
+        lint.check(file, &mut raw);
+    }
+    for diag in raw {
+        if file.allow_for(diag.lint, diag.line).is_some() {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(diag);
+        }
+    }
+    // Validate the directives themselves: unknown lint names and missing
+    // reasons defeat the point of an auditable suppression trail.
+    for allow in &file.allows {
+        let known = allow.lint == BAD_ALLOW || lints.iter().any(|l| l.name() == allow.lint);
+        let problem = if allow.lint.is_empty() {
+            Some(
+                "malformed analyzer:allow directive (expected `analyzer:allow(<lint>): <reason>`)"
+                    .to_string(),
+            )
+        } else if !known {
+            Some(format!(
+                "analyzer:allow names unknown lint `{}`",
+                allow.lint
+            ))
+        } else if allow.reason.is_empty() {
+            Some(format!(
+                "analyzer:allow({}) is missing a `: <reason>` justification",
+                allow.lint
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            report.diagnostics.push(Diagnostic {
+                lint: BAD_ALLOW,
+                severity: Severity::Warning,
+                path: file.path.clone(),
+                line: allow.line,
+                message,
+            });
+        }
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// True when the token at `i` should be skipped: test file or test region.
+fn in_test(file: &SourceFile, t: &Token) -> bool {
+    file.is_test_file() || file.in_test_region(t.line)
+}
+
+fn diag(
+    lint: &'static str,
+    severity: Severity,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        lint,
+        severity,
+        path: file.path.clone(),
+        line,
+        message,
+    }
+}
+
+/// Bans wall-clock reads (`Instant::now`, `SystemTime`) outside the
+/// telemetry and bench crates: trial timing must flow through telemetry
+/// spans so results stay deterministic and profiles stay comparable.
+struct WallClock;
+
+impl Lint for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn description(&self) -> &'static str {
+        "Instant::now/SystemTime outside telemetry/bench; route timing through telemetry spans"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if matches!(file.crate_name.as_str(), "telemetry" | "bench") {
+            return;
+        }
+        let ts = &file.tokens;
+        for (i, t) in ts.iter().enumerate() {
+            if in_test(file, t) {
+                continue;
+            }
+            if is_ident(t, "Instant")
+                && ts.get(i + 1).is_some_and(|a| is_punct(a, ":"))
+                && ts.get(i + 2).is_some_and(|a| is_punct(a, ":"))
+                && ts.get(i + 3).is_some_and(|a| is_ident(a, "now"))
+            {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    "Instant::now() outside telemetry/bench; use a telemetry span/timer instead"
+                        .to_string(),
+                ));
+            }
+            if is_ident(t, "SystemTime") {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    "SystemTime is nondeterministic; derive time from seeds or telemetry"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Bans `HashMap`/`HashSet` in result-bearing library crates, where
+/// iteration order can leak into decoder/routing output and break
+/// seed-for-seed reproducibility. Use `BTreeMap`/`BTreeSet` or index-keyed
+/// `Vec`s.
+struct HashCollections;
+
+impl Lint for HashCollections {
+    fn name(&self) -> &'static str {
+        "hash-collections"
+    }
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet in decoder/netsim/routing/lattice library code; iteration order leaks"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !matches!(
+            file.crate_name.as_str(),
+            "decoder" | "netsim" | "routing" | "lattice"
+        ) || file.kind != FileKind::Lib
+        {
+            return;
+        }
+        for t in &file.tokens {
+            if in_test(file, t) {
+                continue;
+            }
+            if is_ident(t, "HashMap") || is_ident(t, "HashSet") {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(
+                        "{} in order-sensitive library code; use BTreeMap/BTreeSet or an index-keyed Vec",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Bans RNG constructors that pull entropy from the environment. Every
+/// random stream must be seeded explicitly so trials replay bit-for-bit.
+struct UnseededRng;
+
+impl Lint for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+    fn description(&self) -> &'static str {
+        "RNG construction from ambient entropy; seed explicitly (seed_from_u64)"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.crate_name.starts_with("shims/") {
+            return;
+        }
+        const BANNED: &[&str] = &[
+            "from_entropy",
+            "thread_rng",
+            "from_os_rng",
+            "OsRng",
+            "getrandom",
+        ];
+        for t in &file.tokens {
+            if in_test(file, t) {
+                continue;
+            }
+            if t.kind == TokenKind::Ident && BANNED.contains(&t.text.as_str()) {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(
+                        "`{}` draws ambient entropy; construct RNGs with seed_from_u64",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Bans `unwrap`/`expect`/`panic!` in the library hot paths of the decoder,
+/// LP, and network-simulation crates. Convert to a typed error, or
+/// allow-annotate with the proof of unreachability.
+struct PanicSite;
+
+impl Lint for PanicSite {
+    fn name(&self) -> &'static str {
+        "panic-site"
+    }
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! in decoder/lp/netsim library code; use typed errors"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !matches!(file.crate_name.as_str(), "decoder" | "lp" | "netsim")
+            || file.kind != FileKind::Lib
+        {
+            return;
+        }
+        let ts = &file.tokens;
+        for (i, t) in ts.iter().enumerate() {
+            if in_test(file, t) {
+                continue;
+            }
+            let method_call = |name: &str| {
+                is_punct(t, ".")
+                    && ts.get(i + 1).is_some_and(|a| is_ident(a, name))
+                    && ts.get(i + 2).is_some_and(|a| is_punct(a, "("))
+            };
+            if method_call("unwrap") || method_call("expect") {
+                let name = &ts[i + 1].text;
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(".{name}() in library hot path; return a typed error or annotate why it cannot fire"),
+                ));
+            }
+            if is_ident(t, "panic") && ts.get(i + 1).is_some_and(|a| is_punct(a, "!")) {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    "panic! in library hot path; return a typed error or annotate the contract"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Every metric name literal passed to `span!`/`count!`/`timer()`/
+/// `counter()` must be registered in `surfnet_telemetry::catalog` with the
+/// matching kind. Reports at error severity: a typo'd name records into a
+/// series nobody reads.
+struct TelemetryName;
+
+impl Lint for TelemetryName {
+    fn name(&self) -> &'static str {
+        "telemetry-name"
+    }
+    fn description(&self) -> &'static str {
+        "span/count/timer/counter name literal absent from the telemetry catalog (or wrong kind)"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.crate_name == "telemetry" {
+            return;
+        }
+        let ts = &file.tokens;
+        for (i, t) in ts.iter().enumerate() {
+            if in_test(file, t) {
+                continue;
+            }
+            // span!("name") / count!("name")
+            let macro_name = if (is_ident(t, "span") || is_ident(t, "count"))
+                && ts.get(i + 1).is_some_and(|a| is_punct(a, "!"))
+                && ts.get(i + 2).is_some_and(|a| is_punct(a, "("))
+                && ts.get(i + 3).is_some_and(|a| a.kind == TokenKind::Str)
+            {
+                Some((t.text.as_str(), 3))
+            // timer("name") / counter("name")
+            } else if (is_ident(t, "timer") || is_ident(t, "counter"))
+                && ts.get(i + 1).is_some_and(|a| is_punct(a, "("))
+                && ts.get(i + 2).is_some_and(|a| a.kind == TokenKind::Str)
+            {
+                Some((t.text.as_str(), 2))
+            } else {
+                None
+            };
+            let Some((call, name_off)) = macro_name else {
+                continue;
+            };
+            let want = match call {
+                "span" | "timer" => MetricKind::Timer,
+                _ => MetricKind::Counter,
+            };
+            let metric = &ts[i + name_off].text;
+            match catalog::lookup(metric) {
+                None => out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(
+                        "metric name \"{metric}\" is not registered in surfnet_telemetry::catalog"
+                    ),
+                )),
+                Some(kind) if kind != want => out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(
+                        "metric \"{metric}\" is registered as a {kind:?} but used via `{call}`"
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Bans ad-hoc stdout/stderr output in library crates: all human-facing
+/// output belongs to binaries and the telemetry/bench exporters.
+struct PrintSite;
+
+impl Lint for PrintSite {
+    fn name(&self) -> &'static str {
+        "print-site"
+    }
+    fn description(&self) -> &'static str {
+        "println!/dbg!/eprintln! in library code outside the telemetry/bench exporters"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib || matches!(file.crate_name.as_str(), "telemetry" | "bench") {
+            return;
+        }
+        const BANNED: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+        let ts = &file.tokens;
+        for (i, t) in ts.iter().enumerate() {
+            if in_test(file, t) {
+                continue;
+            }
+            if t.kind == TokenKind::Ident
+                && BANNED.contains(&t.text.as_str())
+                && ts.get(i + 1).is_some_and(|a| is_punct(a, "!"))
+            {
+                out.push(diag(
+                    self.name(),
+                    self.severity(),
+                    file,
+                    t.line,
+                    format!(
+                        "{}! in library code; print from binaries or exporters only",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Report {
+        let file = SourceFile::parse(path, src);
+        let lints = default_lints();
+        let mut report = Report::default();
+        analyze_file(&file, &lints, &mut report);
+        report
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_telemetry() {
+        let r = run(
+            "crates/routing/src/x.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.lint == "wall-clock"));
+        let r = run(
+            "crates/bench/src/x.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(r.diagnostics.iter().all(|d| d.lint != "wall-clock"));
+    }
+
+    #[test]
+    fn panic_site_scope_and_suppression() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run("crates/decoder/src/x.rs", src)
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "panic-site"));
+        // Out of scope: routing crate.
+        assert!(run("crates/routing/src/x.rs", src)
+            .diagnostics
+            .iter()
+            .all(|d| d.lint != "panic-site"));
+        // Suppressed with reason: clean, counted.
+        let r = run(
+            "crates/decoder/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // analyzer:allow(panic-site): x is Some by construction",
+        );
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let r = run(
+            "crates/decoder/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }",
+        );
+        assert!(r.diagnostics.iter().all(|d| d.lint != "panic-site"));
+    }
+
+    #[test]
+    fn telemetry_name_checks_catalog_and_kind() {
+        let bad = run(
+            "crates/decoder/src/x.rs",
+            r#"fn f() { surfnet_telemetry::count!("decoder.typo_name"); }"#,
+        );
+        assert!(bad.diagnostics.iter().any(|d| d.lint == "telemetry-name"));
+        let wrong_kind = run(
+            "crates/decoder/src/x.rs",
+            r#"fn f() { surfnet_telemetry::span!("decoder.growth_rounds"); }"#,
+        );
+        assert!(wrong_kind
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "telemetry-name" && d.severity == Severity::Error));
+        let good = run(
+            "crates/decoder/src/x.rs",
+            r#"fn f() { surfnet_telemetry::count!("decoder.growth_rounds"); }"#,
+        );
+        assert!(good.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let r = run(
+            "crates/decoder/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // analyzer:allow(panic-site)",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.lint == BAD_ALLOW));
+        // The directive still suppresses — the bad-allow diagnostic is the
+        // nudge to add the reason.
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn unknown_allow_lint_is_reported() {
+        let r = run(
+            "crates/decoder/src/x.rs",
+            "fn f() {} // analyzer:allow(no-such-lint): whatever",
+        );
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == BAD_ALLOW && d.message.contains("no-such-lint")));
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "\
+pub fn lib_code() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n\
+}\n";
+        let r = run("crates/decoder/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+}

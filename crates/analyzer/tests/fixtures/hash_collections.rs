@@ -1,0 +1,13 @@
+//! Fixture for the `hash-collections` lint: three firing sites, one
+//! suppressed. Analyzed as text under a decoder-crate label; never compiled.
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+// analyzer:allow(hash-collections): fixture demonstrates suppression
+pub fn tolerated() -> HashSet<u32> {
+    unimplemented!()
+}

@@ -1,0 +1,32 @@
+//! Fixture for the `panic-site` lint: three firing sites, one suppressed,
+//! plus exempt forms (`unwrap_or`, test code). Analyzed as text under a
+//! decoder-crate label; never compiled.
+
+pub fn brittle(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn brittle_with_message(x: Option<u8>) -> u8 {
+    x.expect("x must be set")
+}
+
+pub fn explosive() {
+    panic!("boom")
+}
+
+pub fn graceful(x: Option<u8>) -> u8 {
+    x.unwrap_or(7)
+}
+
+pub fn vouched(x: Option<u8>) -> u8 {
+    // analyzer:allow(panic-site): fixture demonstrates suppression
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u8).unwrap();
+    }
+}

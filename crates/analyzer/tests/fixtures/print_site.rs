@@ -1,0 +1,15 @@
+//! Fixture for the `print-site` lint: two firing sites, one suppressed.
+//! Analyzed as text under a library-crate label; never compiled.
+
+pub fn chatty() {
+    println!("reached the hot path");
+}
+
+pub fn debug_leftover(x: u32) -> u32 {
+    dbg!(x)
+}
+
+pub fn sanctioned() {
+    // analyzer:allow(print-site): fixture demonstrates suppression
+    eprintln!("status line");
+}

@@ -1,0 +1,20 @@
+//! Fixture for the `telemetry-name` lint: a typo'd metric, a kind
+//! mismatch, a registered use, and a suppressed unregistered use.
+//! Analyzed as text; never compiled.
+
+pub fn typo() {
+    surfnet_telemetry::count!("decoder.growth_round");
+}
+
+pub fn wrong_kind() {
+    let _s = surfnet_telemetry::span!("lp.solves");
+}
+
+pub fn registered() {
+    surfnet_telemetry::count!("lp.solves");
+}
+
+pub fn grandfathered() {
+    // analyzer:allow(telemetry-name): fixture demonstrates suppression
+    surfnet_telemetry::count!("legacy.metric");
+}

@@ -1,0 +1,18 @@
+//! Fixture for the `unseeded-rng` lint: two firing sites, one suppressed.
+//! Analyzed as text; never compiled.
+
+pub fn ambient() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn also_ambient() {
+    let _rng = thread_rng();
+}
+
+pub fn reproducible() -> SmallRng {
+    SmallRng::seed_from_u64(42)
+}
+
+pub fn grandfathered() {
+    let _rng = thread_rng(); // analyzer:allow(unseeded-rng): fixture demonstrates suppression
+}

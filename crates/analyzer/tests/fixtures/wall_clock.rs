@@ -1,0 +1,13 @@
+//! Fixture for the `wall-clock` lint: one firing site, one suppressed.
+//! Analyzed as text under a library-crate label; never compiled.
+
+pub fn naive_timing() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn justified() -> u64 {
+    // analyzer:allow(wall-clock): fixture demonstrates suppression
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

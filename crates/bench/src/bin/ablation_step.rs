@@ -6,13 +6,18 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Instant;
 use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+use surfnet_telemetry::Telemetry;
 
 fn main() {
     telemetry_init();
+    // All timing flows through the telemetry timer below — force recording
+    // on even when SURFNET_TELEMETRY is unset so the decodes/s column is
+    // always available (the dump at the end still obeys the env mode).
+    let _telemetry = Telemetry::enabled();
+    let trial_timer = surfnet_telemetry::timer("bench.ablation_step.trials");
     let args = args();
     let trials = arg_or(&args, "--trials", 1200usize);
     let distance = arg_or(&args, "--distance", 9usize);
@@ -20,22 +25,31 @@ fn main() {
     let part = code.core_partition(CoreTopology::Cross);
     let model = ErrorModel::dual_channel(&code, &part, 0.07, 0.15);
     println!("step-size ablation: d={distance}, pauli 7%, erasure 15%, {trials} trials");
+    let mut prev_total_ns = 0u64;
     for r in [0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0, 1.5] {
         let decoder = SurfNetDecoder::with_step(&code, &model, r);
         let mut rng = SmallRng::seed_from_u64(23);
-        let start = Instant::now();
-        let failures = (0..trials)
-            .filter(|_| {
-                !decoder
-                    .decode_sample(&code, &model.sample(&mut rng))
-                    .is_success()
-            })
-            .count();
-        let elapsed = start.elapsed().as_secs_f64();
+        let failures = trial_timer.time(|| {
+            (0..trials)
+                .filter(|_| {
+                    !decoder
+                        .decode_sample(&code, &model.sample(&mut rng))
+                        .is_success()
+                })
+                .count()
+        });
+        // Per-r wall time is the delta of the timer's running total; no
+        // mid-run reset, so the final dump keeps the aggregate stats.
+        let total_ns = surfnet_telemetry::snapshot()
+            .timer("bench.ablation_step.trials")
+            .map(|t| t.total_ns)
+            .unwrap_or(0);
+        let elapsed = (total_ns.saturating_sub(prev_total_ns)) as f64 / 1e9;
+        prev_total_ns = total_ns;
         println!(
             "  r = {r:<5.3} logical error rate {:.4}  ({:.1} decodes/s)",
             failures as f64 / trials as f64,
-            trials as f64 / elapsed
+            trials as f64 / elapsed.max(1e-9)
         );
     }
     telemetry_dump("ablation_step");

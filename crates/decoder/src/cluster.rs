@@ -113,7 +113,10 @@ pub fn grow_clusters(
         if ra == rb {
             return;
         }
-        let root = uf.union(ra, rb).expect("roots differ");
+        let Some(root) = uf.union(ra, rb) else {
+            // Unreachable: ra != rb was just checked, so the union merges.
+            return;
+        };
         let other = if root == ra { rb } else { ra };
         parity[root] = (parity[ra] + parity[rb]) % 2;
         touches_boundary[root] = touches_boundary[ra] || touches_boundary[rb];
@@ -212,6 +215,24 @@ pub fn grow_clusters(
                 );
             }
             newly_grown.clear();
+        }
+
+        // SURFNET_CHECK: after every round the union-find forest must be
+        // acyclic and the per-root bookkeeping consistent with it.
+        if crate::check::enabled() {
+            crate::check::assert_ok(
+                crate::check::check_cluster_invariants(
+                    &mut uf,
+                    &parity,
+                    &touches_boundary,
+                    &members,
+                    &is_defect,
+                    boundary,
+                    graph,
+                    &grown,
+                ),
+                "cluster growth round",
+            );
         }
     }
 

@@ -52,6 +52,7 @@ pub trait Decoder {
         let syndrome = code.extract_syndrome(&sample.pauli);
         let correction = self
             .decode(code, &syndrome, &sample.erased)
+            // analyzer:allow(panic-site): documented API contract — the trait method's # Panics section makes this the simulation-loop convenience path
             .expect("decoding a well-formed surface code sample cannot fail");
         code.score_correction(&sample.pauli, &correction)
     }

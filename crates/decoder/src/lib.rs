@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod blossom;
+pub mod check;
 pub mod cluster;
 pub mod decoder;
 pub mod dijkstra;

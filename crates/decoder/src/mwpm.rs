@@ -70,6 +70,15 @@ pub fn decode_graph_mwpm(
     let mate = min_weight_perfect_matching(2 * q, &edges)
         .map_err(|_| DecoderError::UnpairableSyndromes)?;
 
+    // SURFNET_CHECK: blossom must return a genuine perfect matching on the
+    // path graph before we trust its pairs to build a correction.
+    if crate::check::enabled() {
+        crate::check::assert_ok(
+            crate::check::check_perfect_matching(2 * q, &edges, &mate),
+            "mwpm matching",
+        );
+    }
+
     // Assemble the correction as the symmetric difference of matched paths
     // (a qubit crossed by two paths cancels out).
     let mut edge_parity = vec![false; graph.num_edges()];
@@ -92,12 +101,21 @@ pub fn decode_graph_mwpm(
             flip_path(path);
         }
     }
-    Ok(edge_parity
+    let correction: Vec<usize> = edge_parity
         .iter()
         .enumerate()
         .filter(|(_, &on)| on)
         .map(|(e, _)| e)
-        .collect())
+        .collect();
+
+    // SURFNET_CHECK: the assembled correction must annihilate the syndrome.
+    if crate::check::enabled() {
+        crate::check::assert_ok(
+            crate::check::check_correction_annihilates(graph, &correction, defects),
+            "mwpm correction",
+        );
+    }
+    Ok(correction)
 }
 
 #[cfg(test)]

@@ -99,6 +99,14 @@ pub fn peel(
         }
     }
     correction.sort_unstable();
+
+    // SURFNET_CHECK: peeling must leave zero residual syndrome.
+    if crate::check::enabled() {
+        crate::check::assert_ok(
+            crate::check::check_correction_annihilates(graph, &correction, defects),
+            "peeling correction",
+        );
+    }
     Ok(correction)
 }
 

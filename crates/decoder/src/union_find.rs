@@ -30,6 +30,12 @@ impl UnionFind {
         self.parent.is_empty()
     }
 
+    /// The raw parent array — read-only, for invariant checking
+    /// ([`crate::check::check_forest`]) and structural tests.
+    pub fn parents(&self) -> &[usize] {
+        &self.parent
+    }
+
     /// The representative of `x`'s set, with path compression.
     ///
     /// # Panics

@@ -4,7 +4,42 @@
 use crate::geometry::{site_kind, Boundary, Coord, EdgeEnd, SiteKind};
 use crate::LatticeError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Marks an unoccupied board slot in [`CoordIndex`].
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Dense coord → qubit-index map over the `(2d−1)²` board.
+///
+/// A flat array instead of a `HashMap<Coord, usize>`: O(1) lookups with no
+/// hashing, a deterministic memory layout, and no iteration-order hazard
+/// (the analyzer's `hash-collections` lint bans hash maps in this crate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CoordIndex {
+    side: usize,
+    slots: Vec<u32>,
+}
+
+impl CoordIndex {
+    /// Indexes `coords` by board position; every coord must fit the board.
+    fn build(side: usize, coords: &[Coord]) -> CoordIndex {
+        let mut slots = vec![EMPTY_SLOT; side * side];
+        for (i, c) in coords.iter().enumerate() {
+            slots[c.row * side + c.col] = i as u32;
+        }
+        CoordIndex { side, slots }
+    }
+
+    /// Dense index stored at `c`, if `c` is on the board and occupied.
+    fn get(&self, c: Coord) -> Option<usize> {
+        if c.row >= self.side || c.col >= self.side {
+            return None;
+        }
+        match self.slots[c.row * self.side + c.col] {
+            EMPTY_SLOT => None,
+            i => Some(i as usize),
+        }
+    }
+}
 
 /// A distance-`d` unrotated planar surface code.
 ///
@@ -36,9 +71,9 @@ pub struct SurfaceCode {
     data_coords: Vec<Coord>,
     measure_z_coords: Vec<Coord>,
     measure_x_coords: Vec<Coord>,
-    data_index: HashMap<Coord, usize>,
-    measure_z_index: HashMap<Coord, usize>,
-    measure_x_index: HashMap<Coord, usize>,
+    data_index: CoordIndex,
+    measure_z_index: CoordIndex,
+    measure_x_index: CoordIndex,
     /// Data qubit supports of each Z stabilizer.
     z_stabilizers: Vec<Vec<usize>>,
     /// Data qubit supports of each X stabilizer.
@@ -82,30 +117,15 @@ impl SurfaceCode {
                 }
             }
         }
-        let data_index: HashMap<_, _> = data_coords
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, c)| (c, i))
-            .collect();
-        let measure_z_index: HashMap<_, _> = measure_z_coords
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, c)| (c, i))
-            .collect();
-        let measure_x_index: HashMap<_, _> = measure_x_coords
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, c)| (c, i))
-            .collect();
+        let data_index = CoordIndex::build(side, &data_coords);
+        let measure_z_index = CoordIndex::build(side, &measure_z_coords);
+        let measure_x_index = CoordIndex::build(side, &measure_x_coords);
 
         let z_stabilizers = measure_z_coords
             .iter()
             .map(|c| {
                 c.neighbors(side)
-                    .filter_map(|n| data_index.get(&n).copied())
+                    .filter_map(|n| data_index.get(n))
                     .collect()
             })
             .collect();
@@ -113,7 +133,7 @@ impl SurfaceCode {
             .iter()
             .map(|c| {
                 c.neighbors(side)
-                    .filter_map(|n| data_index.get(&n).copied())
+                    .filter_map(|n| data_index.get(n))
                     .collect()
             })
             .collect();
@@ -124,6 +144,18 @@ impl SurfaceCode {
         // horizontal edge of the Z graph and a vertical edge of the X graph.
         let mut z_edges = Vec::with_capacity(data_coords.len());
         let mut x_edges = Vec::with_capacity(data_coords.len());
+        // Interior neighbors of a data qubit are measure qubits by the
+        // checkerboard construction, so these lookups cannot miss.
+        let mz = |row: usize, col: usize| {
+            measure_z_index
+                .get(Coord::new(row, col))
+                .expect("interior neighbor holds a measure-Z qubit")
+        };
+        let mx = |row: usize, col: usize| {
+            measure_x_index
+                .get(Coord::new(row, col))
+                .expect("interior neighbor holds a measure-X qubit")
+        };
         for &c in &data_coords {
             let Coord { row, col } = c;
             if row % 2 == 0 {
@@ -131,32 +163,32 @@ impl SurfaceCode {
                 let up = if row == 0 {
                     EdgeEnd::Boundary(Boundary::North)
                 } else {
-                    EdgeEnd::Check(measure_z_index[&Coord::new(row - 1, col)])
+                    EdgeEnd::Check(mz(row - 1, col))
                 };
                 let down = if row == side - 1 {
                     EdgeEnd::Boundary(Boundary::South)
                 } else {
-                    EdgeEnd::Check(measure_z_index[&Coord::new(row + 1, col)])
+                    EdgeEnd::Check(mz(row + 1, col))
                 };
                 z_edges.push((up, down));
                 let left = if col == 0 {
                     EdgeEnd::Boundary(Boundary::West)
                 } else {
-                    EdgeEnd::Check(measure_x_index[&Coord::new(row, col - 1)])
+                    EdgeEnd::Check(mx(row, col - 1))
                 };
                 let right = if col == side - 1 {
                     EdgeEnd::Boundary(Boundary::East)
                 } else {
-                    EdgeEnd::Check(measure_x_index[&Coord::new(row, col + 1)])
+                    EdgeEnd::Check(mx(row, col + 1))
                 };
                 x_edges.push((left, right));
             } else {
                 // (odd, odd) data qubit: interior in both graphs.
-                let left = EdgeEnd::Check(measure_z_index[&Coord::new(row, col - 1)]);
-                let right = EdgeEnd::Check(measure_z_index[&Coord::new(row, col + 1)]);
+                let left = EdgeEnd::Check(mz(row, col - 1));
+                let right = EdgeEnd::Check(mz(row, col + 1));
                 z_edges.push((left, right));
-                let up = EdgeEnd::Check(measure_x_index[&Coord::new(row - 1, col)]);
-                let down = EdgeEnd::Check(measure_x_index[&Coord::new(row + 1, col)]);
+                let up = EdgeEnd::Check(mx(row - 1, col));
+                let down = EdgeEnd::Check(mx(row + 1, col));
                 x_edges.push((up, down));
             }
         }
@@ -229,17 +261,17 @@ impl SurfaceCode {
 
     /// Dense index of the data qubit at `c`, if `c` holds one.
     pub fn data_qubit_at(&self, c: Coord) -> Option<usize> {
-        self.data_index.get(&c).copied()
+        self.data_index.get(c)
     }
 
     /// Dense index of the measure-Z qubit at `c`, if any.
     pub fn measure_z_at(&self, c: Coord) -> Option<usize> {
-        self.measure_z_index.get(&c).copied()
+        self.measure_z_index.get(c)
     }
 
     /// Dense index of the measure-X qubit at `c`, if any.
     pub fn measure_x_at(&self, c: Coord) -> Option<usize> {
-        self.measure_x_index.get(&c).copied()
+        self.measure_x_index.get(c)
     }
 
     /// Board coordinate of measure-Z qubit `i`.

@@ -1,0 +1,107 @@
+//! `SURFNET_CHECK=1` runtime invariant checkers for the simplex solver.
+//!
+//! After phase 1 establishes a basic feasible point, every subsequent pivot
+//! must preserve primal feasibility: the ratio test picks the leaving row
+//! precisely so the rhs column stays non-negative. A negative rhs after a
+//! pivot means the ratio test or the pivot arithmetic is broken — a bug
+//! that otherwise surfaces only as a silently infeasible "optimal" routing
+//! plan. See `surfnet_decoder::check` for the decoder-side counterpart.
+//!
+//! Debug-only and opt-in: in release builds [`enabled`] is a `const fn`
+//! returning `false`, so the guarded calls fold away.
+
+use std::fmt;
+
+/// A broken simplex invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// What held wrong, where.
+    pub message: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violation: {}", self.message)
+    }
+}
+
+/// Whether runtime invariant checking is on (`SURFNET_CHECK` set to
+/// anything but `0`/empty, debug builds only).
+#[cfg(debug_assertions)]
+pub fn enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("SURFNET_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Release builds: checking compiles to `false`, and the guarded blocks
+/// fold away.
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Panics with the violation if `result` is an error. Call sites guard with
+/// [`enabled`], so this never runs in release builds.
+pub fn assert_ok(result: Result<(), InvariantViolation>, stage: &str) {
+    if let Err(v) = result {
+        // analyzer:allow(panic-site): the entire point of SURFNET_CHECK is to abort loudly on corruption
+        panic!("SURFNET_CHECK [{stage}]: {v}");
+    }
+}
+
+/// Tolerance for feasibility: pivoting accumulates rounding, so a tiny
+/// negative rhs is numerical noise, not corruption.
+pub const FEAS_EPS: f64 = 1e-6;
+
+/// The tableau is primal-feasible: every basic variable's value (the rhs
+/// column) is non-negative up to [`FEAS_EPS`].
+pub fn check_primal_feasible(
+    tableau: &[Vec<f64>],
+    rhs_col: usize,
+) -> Result<(), InvariantViolation> {
+    for (ri, row) in tableau.iter().enumerate() {
+        let rhs = row[rhs_col];
+        if rhs < -FEAS_EPS {
+            return Err(InvariantViolation {
+                message: format!("tableau row {ri} has negative basic value {rhs:.3e}"),
+            });
+        }
+        if !rhs.is_finite() {
+            return Err(InvariantViolation {
+                message: format!("tableau row {ri} has non-finite basic value {rhs}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_tableau_passes() {
+        let t = vec![vec![1.0, 0.0, 4.0], vec![0.0, 1.0, 0.0]];
+        assert_eq!(check_primal_feasible(&t, 2), Ok(()));
+    }
+
+    #[test]
+    fn tiny_negative_rhs_is_tolerated() {
+        let t = vec![vec![1.0, 0.0, -1e-9]];
+        assert_eq!(check_primal_feasible(&t, 2), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_negative_rhs_fires() {
+        let t = vec![vec![1.0, 0.0, 4.0], vec![0.0, 1.0, -0.5]];
+        let err = check_primal_feasible(&t, 2).unwrap_err();
+        assert!(err.message.contains("row 1"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_rhs_fires() {
+        let t = vec![vec![1.0, 0.0, f64::NAN]];
+        assert!(check_primal_feasible(&t, 2).is_err());
+    }
+}

@@ -11,6 +11,9 @@ use crate::problem::{ConstraintOp, Direction, LinearProgram};
 use crate::{LpError, Solution};
 
 const EPS: f64 = 1e-9;
+/// Feasibility slack granted per ratio-test candidate: a leaving-row choice
+/// may push another basic value below zero by at most this much per pivot.
+const RATIO_TOL: f64 = 1e-10;
 
 /// Solves `lp` in the given direction.
 ///
@@ -184,6 +187,15 @@ pub fn solve(lp: &LinearProgram, direction: Direction) -> Result<Solution, LpErr
                 row[a] = 0.0;
             }
         }
+
+        // SURFNET_CHECK: driving artificials out of a degenerate basis
+        // pivots on ~zero rhs rows and must not lose feasibility.
+        if crate::check::enabled() {
+            crate::check::assert_ok(
+                crate::check::check_primal_feasible(&tableau, rhs_col),
+                "phase-1 artificial cleanup",
+            );
+        }
     }
 
     // Phase 2: the true objective. Internally minimize; maximization
@@ -266,26 +278,57 @@ fn run_simplex(
         if enter == usize::MAX {
             return Ok(());
         }
-        // Ratio test.
+        // Ratio test, Harris-style two-pass. Comparing raw ratios with an
+        // absolute tolerance is scale-blind: when the entering column holds
+        // entries of ~1e15, two ratios 1e-14 apart look "tied" yet pivoting
+        // on the looser one moves other rows' rhs by tens. Pass 1 finds the
+        // tightest step bound with a small *feasibility* tolerance on the
+        // rhs; pass 2 picks among the rows whose ratio fits inside that
+        // bound, so any choice degrades feasibility by at most RATIO_TOL.
+        let mut t_limit = f64::INFINITY;
+        for row in tableau.iter() {
+            let a = row[enter];
+            if a > EPS {
+                let bound = (row[rhs_col].max(0.0) + RATIO_TOL) / a;
+                if bound < t_limit {
+                    t_limit = bound;
+                }
+            }
+        }
+        if t_limit.is_infinite() {
+            return Err(LpError::Unbounded);
+        }
+        // Among candidates: largest pivot element for numerical stability
+        // (Dantzig phase) or lowest basis index (Bland anti-cycling phase).
         let mut leave = usize::MAX;
-        let mut best_ratio = f64::INFINITY;
+        let mut best_a = 0.0;
         for ri in 0..m {
             let a = tableau[ri][enter];
-            if a > EPS {
-                let ratio = tableau[ri][rhs_col] / a;
-                let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && (leave == usize::MAX || basis[ri] < basis[leave]));
+            if a > EPS && tableau[ri][rhs_col] / a <= t_limit {
+                let better = if use_bland {
+                    leave == usize::MAX || basis[ri] < basis[leave]
+                } else {
+                    a > best_a
+                };
                 if better {
-                    best_ratio = ratio;
+                    best_a = a;
                     leave = ri;
                 }
             }
         }
-        if leave == usize::MAX {
-            return Err(LpError::Unbounded);
-        }
+        // The bound-setting row itself always qualifies (rhs/a ≤
+        // (rhs.max(0)+tol)/a), so a candidate is guaranteed to exist.
+        debug_assert!(leave != usize::MAX, "ratio test found no leaving row");
         pivot_with_cost(tableau, basis, cost, leave, enter, rhs_col);
+
+        // SURFNET_CHECK: the ratio test exists to keep the basis primal-
+        // feasible — verify after every pivot.
+        if crate::check::enabled() {
+            crate::check::assert_ok(
+                crate::check::check_primal_feasible(tableau, rhs_col),
+                "simplex pivot",
+            );
+        }
     }
     Err(LpError::IterationLimit)
 }

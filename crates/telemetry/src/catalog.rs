@@ -1,0 +1,90 @@
+//! The registered metric-name catalog.
+//!
+//! Every `span!`/`timer()` and `count!`/`counter()` name used outside the
+//! telemetry crate itself must appear here with the right kind. The
+//! `surfnet-analyzer` `telemetry-name` lint enforces this statically, which
+//! turns a typo'd metric name (silently recording into a fresh, never-read
+//! series) into a CI failure.
+//!
+//! Keep [`CATALOG`] sorted by name: [`lookup`] binary-searches it, and
+//! [`validate`] rejects out-of-order or duplicate entries.
+
+/// Whether a metric name denotes a counter or a span/timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count (`count!` / `counter()`).
+    Counter,
+    /// Wall-clock span accumulation (`span!` / `timer()`).
+    Timer,
+}
+
+/// All registered metric names, sorted by name.
+pub const CATALOG: &[(&str, MetricKind)] = &[
+    ("bench.ablation_step.trials", MetricKind::Timer),
+    ("bench.overhead.counter", MetricKind::Counter),
+    ("bench.overhead.span", MetricKind::Timer),
+    ("decoder.blossom.match", MetricKind::Timer),
+    ("decoder.blossom_stages", MetricKind::Counter),
+    ("decoder.decode", MetricKind::Timer),
+    ("decoder.dijkstra_relaxations", MetricKind::Counter),
+    ("decoder.growth_rounds", MetricKind::Counter),
+    ("decoder.mwpm.decode", MetricKind::Timer),
+    ("decoder.peel", MetricKind::Timer),
+    ("decoder.peeling_passes", MetricKind::Counter),
+    ("decoder.surfnet.decode", MetricKind::Timer),
+    ("decoder.union_find.decode", MetricKind::Timer),
+    ("lp.iterations", MetricKind::Counter),
+    ("lp.pivots", MetricKind::Counter),
+    ("lp.solve", MetricKind::Timer),
+    ("lp.solves", MetricKind::Counter),
+    ("netsim.entanglement_attempts", MetricKind::Counter),
+    ("netsim.execute_concurrently", MetricKind::Timer),
+    ("netsim.execute_plan", MetricKind::Timer),
+    ("netsim.execute_teleportation", MetricKind::Timer),
+    ("netsim.purification_rounds", MetricKind::Counter),
+    ("pipeline.evaluate", MetricKind::Timer),
+    ("pipeline.execute", MetricKind::Timer),
+    ("pipeline.network_gen", MetricKind::Timer),
+    ("pipeline.requests", MetricKind::Timer),
+    ("pipeline.schedule", MetricKind::Timer),
+    ("routing.assign_codes", MetricKind::Timer),
+    ("routing.codes_scheduled", MetricKind::Counter),
+    ("routing.infeasible_attempts", MetricKind::Counter),
+    ("routing.schedule", MetricKind::Timer),
+];
+
+/// Looks up a metric name, returning its registered kind.
+pub fn lookup(name: &str) -> Option<MetricKind> {
+    CATALOG
+        .binary_search_by(|(n, _)| n.cmp(&name))
+        .ok()
+        .map(|i| CATALOG[i].1)
+}
+
+/// Verifies the catalog is strictly sorted (which also implies names are
+/// unique). Returns the first offending adjacent pair.
+pub fn validate() -> Result<(), (&'static str, &'static str)> {
+    for pair in CATALOG.windows(2) {
+        if pair[0].0 >= pair[1].0 {
+            return Err((pair[0].0, pair[1].0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        assert_eq!(validate(), Ok(()));
+    }
+
+    #[test]
+    fn lookup_finds_registered_names_with_kind() {
+        assert_eq!(lookup("lp.solve"), Some(MetricKind::Timer));
+        assert_eq!(lookup("lp.solves"), Some(MetricKind::Counter));
+        assert_eq!(lookup("no.such.metric"), None);
+    }
+}
