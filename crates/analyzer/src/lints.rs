@@ -311,10 +311,12 @@ impl Lint for PanicSite {
     }
 }
 
-/// Every metric name literal passed to `span!`/`count!`/`timer()`/
+/// Every metric name literal passed to `span!`/`count!`/`event!`/`timer()`/
 /// `counter()` must be registered in `surfnet_telemetry::catalog` with the
-/// matching kind. Reports at error severity: a typo'd name records into a
-/// series nobody reads.
+/// matching kind. `event!` is matched in all its forms — `event!("name")`,
+/// `event!("name", arg)`, and the phase-token forms `event!(begin "name")` /
+/// `event!(end "name")`. Reports at error severity: a typo'd name records
+/// into a series nobody reads.
 struct TelemetryName;
 
 impl Lint for TelemetryName {
@@ -322,7 +324,7 @@ impl Lint for TelemetryName {
         "telemetry-name"
     }
     fn description(&self) -> &'static str {
-        "span/count/timer/counter name literal absent from the telemetry catalog (or wrong kind)"
+        "span/count/event/timer/counter name literal absent from the telemetry catalog (or wrong kind)"
     }
     fn severity(&self) -> Severity {
         Severity::Error
@@ -336,27 +338,39 @@ impl Lint for TelemetryName {
             if in_test(file, t) {
                 continue;
             }
-            // span!("name") / count!("name")
-            let macro_name = if (is_ident(t, "span") || is_ident(t, "count"))
-                && ts.get(i + 1).is_some_and(|a| is_punct(a, "!"))
-                && ts.get(i + 2).is_some_and(|a| is_punct(a, "("))
-                && ts.get(i + 3).is_some_and(|a| a.kind == TokenKind::Str)
-            {
-                Some((t.text.as_str(), 3))
-            // timer("name") / counter("name")
-            } else if (is_ident(t, "timer") || is_ident(t, "counter"))
-                && ts.get(i + 1).is_some_and(|a| is_punct(a, "("))
-                && ts.get(i + 2).is_some_and(|a| a.kind == TokenKind::Str)
-            {
-                Some((t.text.as_str(), 2))
-            } else {
-                None
-            };
+            // span!("name") / count!("name") / event!("name")
+            let macro_name =
+                if (is_ident(t, "span") || is_ident(t, "count") || is_ident(t, "event"))
+                    && ts.get(i + 1).is_some_and(|a| is_punct(a, "!"))
+                    && ts.get(i + 2).is_some_and(|a| is_punct(a, "("))
+                    && ts.get(i + 3).is_some_and(|a| a.kind == TokenKind::Str)
+                {
+                    Some((t.text.as_str(), 3))
+                // event!(begin "name") / event!(end "name")
+                } else if is_ident(t, "event")
+                    && ts.get(i + 1).is_some_and(|a| is_punct(a, "!"))
+                    && ts.get(i + 2).is_some_and(|a| is_punct(a, "("))
+                    && ts
+                        .get(i + 3)
+                        .is_some_and(|a| is_ident(a, "begin") || is_ident(a, "end"))
+                    && ts.get(i + 4).is_some_and(|a| a.kind == TokenKind::Str)
+                {
+                    Some((t.text.as_str(), 4))
+                // timer("name") / counter("name")
+                } else if (is_ident(t, "timer") || is_ident(t, "counter"))
+                    && ts.get(i + 1).is_some_and(|a| is_punct(a, "("))
+                    && ts.get(i + 2).is_some_and(|a| a.kind == TokenKind::Str)
+                {
+                    Some((t.text.as_str(), 2))
+                } else {
+                    None
+                };
             let Some((call, name_off)) = macro_name else {
                 continue;
             };
             let want = match call {
                 "span" | "timer" => MetricKind::Timer,
+                "event" => MetricKind::Event,
                 _ => MetricKind::Counter,
             };
             let metric = &ts[i + name_off].text;
@@ -501,6 +515,48 @@ mod tests {
             r#"fn f() { surfnet_telemetry::count!("decoder.growth_rounds"); }"#,
         );
         assert!(good.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn telemetry_name_checks_event_macro_forms() {
+        // Unregistered name, plain form.
+        let bad = run(
+            "crates/core/src/x.rs",
+            r#"fn f() { surfnet_telemetry::event!("core.no_such_event"); }"#,
+        );
+        assert!(bad
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "telemetry-name" && d.message.contains("not registered")));
+        // Unregistered name, begin/end token form.
+        let bad_begin = run(
+            "crates/core/src/x.rs",
+            r#"fn f() { surfnet_telemetry::event!(begin "core.no_such_event"); }"#,
+        );
+        assert!(bad_begin
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "telemetry-name"));
+        // Registered but as a Counter, not an Event.
+        let wrong_kind = run(
+            "crates/core/src/x.rs",
+            r#"fn f() { surfnet_telemetry::event!("decoder.growth_rounds"); }"#,
+        );
+        assert!(wrong_kind
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "telemetry-name" && d.message.contains("used via `event`")));
+        // All registered Event uses, every macro form: clean.
+        let good = run(
+            "crates/core/src/x.rs",
+            r#"fn f() {
+                surfnet_telemetry::event!(begin "pipeline.trial");
+                surfnet_telemetry::event!(end "pipeline.trial");
+                surfnet_telemetry::event!("evaluate.shot_failed");
+                surfnet_telemetry::event!("flight.capture", 3);
+            }"#,
+        );
+        assert!(good.diagnostics.is_empty(), "{:#?}", good.diagnostics);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fixture for the `telemetry-name` lint: a typo'd metric, a kind
-//! mismatch, a registered use, and a suppressed unregistered use.
+//! mismatch, a registered use, a suppressed unregistered use, and the
+//! journal `event!` macro in all its forms.
 //! Analyzed as text; never compiled.
 
 pub fn typo() {
@@ -17,4 +18,19 @@ pub fn registered() {
 pub fn grandfathered() {
     // analyzer:allow(telemetry-name): fixture demonstrates suppression
     surfnet_telemetry::count!("legacy.metric");
+}
+
+pub fn event_typo() {
+    surfnet_telemetry::event!("journal.no_such_event");
+}
+
+pub fn event_wrong_kind() {
+    surfnet_telemetry::event!(begin "lp.solves");
+}
+
+pub fn event_registered() {
+    surfnet_telemetry::event!(begin "pipeline.trial");
+    surfnet_telemetry::event!(end "pipeline.trial");
+    surfnet_telemetry::event!("evaluate.shot_failed");
+    surfnet_telemetry::event!("flight.capture", 7);
 }

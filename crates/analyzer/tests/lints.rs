@@ -91,7 +91,7 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
         .iter()
         .filter(|d| d.lint == "telemetry-name")
         .collect();
-    assert_eq!(findings.len(), 2, "{:#?}", r.diagnostics);
+    assert_eq!(findings.len(), 4, "{:#?}", r.diagnostics);
     assert!(findings.iter().all(|d| d.severity == Severity::Error));
     assert!(findings
         .iter()
@@ -99,6 +99,14 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
     assert!(findings
         .iter()
         .any(|d| d.message.contains("used via `span`")));
+    // The journal macro is checked too, in both its plain and begin/end
+    // token forms; registered Event names stay clean.
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("journal.no_such_event")));
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("used via `event`")));
     assert_eq!(r.suppressed, 1);
 }
 

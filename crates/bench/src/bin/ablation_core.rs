@@ -8,9 +8,10 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
+use surfnet_bench::{arg_or, args, report_json, telemetry_dump, telemetry_init, trace_finish};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+use surfnet_telemetry::json::Value;
 
 fn rate(code: &SurfaceCode, model: &ErrorModel, trials: usize, seed: u64) -> f64 {
     let decoder = SurfNetDecoder::from_model(code, model);
@@ -38,13 +39,18 @@ fn main() {
         p * 100.0,
         pe * 100.0
     );
-    let cases: Vec<(&str, Option<CoreTopology>)> = vec![
-        ("none (uniform)", None),
-        ("cross", Some(CoreTopology::Cross)),
-        ("middle-row", Some(CoreTopology::MiddleRow)),
-        ("middle-column", Some(CoreTopology::MiddleColumn)),
+    let cases: Vec<(&str, &str, Option<CoreTopology>)> = vec![
+        ("none (uniform)", "none", None),
+        ("cross", "cross", Some(CoreTopology::Cross)),
+        ("middle-row", "middle-row", Some(CoreTopology::MiddleRow)),
+        (
+            "middle-column",
+            "middle-column",
+            Some(CoreTopology::MiddleColumn),
+        ),
     ];
-    for (label, topology) in cases {
+    let mut metrics = Vec::new();
+    for (label, key, topology) in cases {
         let model = match topology {
             None => ErrorModel::uniform(&code, p, pe),
             Some(t) => {
@@ -52,10 +58,20 @@ fn main() {
                 ErrorModel::dual_channel(&code, &part, p, pe)
             }
         };
-        println!(
-            "  {label:<16} logical error rate {:.4}",
-            rate(&code, &model, trials, 11)
-        );
+        let error_rate = rate(&code, &model, trials, 11);
+        println!("  {label:<16} logical error rate {error_rate:.4}");
+        metrics.push((format!("{key}/logical_error_rate"), error_rate));
     }
+    report_json::emit(
+        "ablation_core",
+        vec![
+            ("trials", Value::from(trials)),
+            ("distance", Value::from(distance)),
+            ("pauli", Value::Num(p)),
+            ("erasure", Value::Num(pe)),
+        ],
+        &metrics,
+    );
     telemetry_dump("ablation_core");
+    trace_finish();
 }

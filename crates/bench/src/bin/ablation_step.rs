@@ -6,9 +6,10 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
+use surfnet_bench::{arg_or, args, report_json, telemetry_dump, telemetry_init, trace_finish};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
+use surfnet_telemetry::json::Value;
 use surfnet_telemetry::Telemetry;
 
 fn main() {
@@ -26,6 +27,7 @@ fn main() {
     let model = ErrorModel::dual_channel(&code, &part, 0.07, 0.15);
     println!("step-size ablation: d={distance}, pauli 7%, erasure 15%, {trials} trials");
     let mut prev_total_ns = 0u64;
+    let mut metrics = Vec::new();
     for r in [0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0, 1.5] {
         let decoder = SurfNetDecoder::with_step(&code, &model, r);
         let mut rng = SmallRng::seed_from_u64(23);
@@ -46,11 +48,24 @@ fn main() {
             .unwrap_or(0);
         let elapsed = (total_ns.saturating_sub(prev_total_ns)) as f64 / 1e9;
         prev_total_ns = total_ns;
+        let error_rate = failures as f64 / trials as f64;
         println!(
             "  r = {r:<5.3} logical error rate {:.4}  ({:.1} decodes/s)",
-            failures as f64 / trials as f64,
+            error_rate,
             trials as f64 / elapsed.max(1e-9)
         );
+        // Throughput is machine-dependent, so only the accuracy column goes
+        // into the comparable report.
+        metrics.push((format!("r{r:.3}/logical_error_rate"), error_rate));
     }
+    report_json::emit(
+        "ablation_step",
+        vec![
+            ("trials", Value::from(trials)),
+            ("distance", Value::from(distance)),
+        ],
+        &metrics,
+    );
     telemetry_dump("ablation_step");
+    trace_finish();
 }

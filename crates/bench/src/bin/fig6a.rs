@@ -2,8 +2,11 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --release --bin fig6a -- [--trials N] [--seed S]`
 
-use surfnet_bench::{arg_or, args, has_flag, telemetry_dump, telemetry_init};
+use surfnet_bench::{
+    arg_or, args, flatten, has_flag, report_json, telemetry_dump, telemetry_init, trace_finish,
+};
 use surfnet_core::experiments::fig6a;
+use surfnet_telemetry::json::Value;
 
 fn main() {
     telemetry_init();
@@ -16,5 +19,11 @@ fn main() {
         println!();
         print!("{}", fig6a::render_detail(&result));
     }
+    report_json::emit(
+        "fig6a",
+        vec![("trials", Value::from(trials)), ("seed", Value::from(seed))],
+        &flatten::fig6a(&result),
+    );
     telemetry_dump("fig6a");
+    trace_finish();
 }

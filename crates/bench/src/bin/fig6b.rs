@@ -3,8 +3,11 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig6b -- \
 //!     [--param capacity|entanglement|messages|threshold|all] [--trials N] [--seed S]`
 
-use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
+use surfnet_bench::{
+    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+};
 use surfnet_core::experiments::fig6b::{self, SweepParam};
+use surfnet_telemetry::json::Value;
 
 fn main() {
     telemetry_init();
@@ -27,6 +30,13 @@ fn main() {
     for param in params {
         let sweep = fig6b::run(param, trials, seed);
         println!("{}", fig6b::render(&sweep));
-        telemetry_dump(&format!("fig6b/{which}"));
+        let key = flatten::sweep_key(param);
+        report_json::emit(
+            &format!("fig6b_{key}"),
+            vec![("trials", Value::from(trials)), ("seed", Value::from(seed))],
+            &flatten::fig6b(&sweep),
+        );
+        telemetry_dump(&format!("fig6b/{key}"));
     }
+    trace_finish();
 }

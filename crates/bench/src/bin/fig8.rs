@@ -5,9 +5,12 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig8 -- \
 //!     [--trials N] [--seed S] [--max-distance D]`
 
-use surfnet_bench::{arg_or, args, telemetry_dump, telemetry_init};
+use surfnet_bench::{
+    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+};
 use surfnet_core::experiments::fig8;
 use surfnet_core::DecoderKind;
+use surfnet_telemetry::json::Value;
 
 fn main() {
     telemetry_init();
@@ -20,6 +23,7 @@ fn main() {
         .filter(|&d| d <= max_distance)
         .collect();
     let rates = fig8::paper_rates();
+    let mut metrics = Vec::new();
     for decoder in [DecoderKind::UnionFind, DecoderKind::SurfNet] {
         let curves = fig8::run(
             decoder,
@@ -30,6 +34,18 @@ fn main() {
             seed,
         );
         println!("{}", fig8::render(&curves));
+        metrics.extend(flatten::fig8(&curves));
     }
+    report_json::emit(
+        "fig8",
+        vec![
+            ("trials", Value::from(trials)),
+            ("seed", Value::from(seed)),
+            ("max_distance", Value::from(max_distance)),
+            ("erasure_rate", Value::Num(fig8::ERASURE_RATE)),
+        ],
+        &metrics,
+    );
     telemetry_dump("fig8");
+    trace_finish();
 }

@@ -1,0 +1,36 @@
+//! Deterministically re-executes flight-recorder artifacts
+//! (`FLIGHT_*.json`, captured when `SURFNET_FLIGHT=<dir>` is set) and
+//! diffs decoder behavior against the recording.
+//!
+//! Usage: `cargo run -p surfnet-bench --bin replay -- <artifact.json>...`
+//!
+//! Exit codes: 0 = every artifact replayed faithfully, 1 = at least one
+//! replay diverged from its recording, 2 = usage or malformed artifact.
+
+use std::path::Path;
+use surfnet_core::flight;
+
+fn main() {
+    let paths = surfnet_bench::args();
+    if paths.is_empty() || paths.iter().any(|p| p.starts_with("--")) {
+        eprintln!("usage: replay <artifact.json>...");
+        std::process::exit(2);
+    }
+    let mut all_faithful = true;
+    for path in &paths {
+        let report =
+            flight::load_artifact(Path::new(path)).and_then(|a| flight::replay_artifact(&a));
+        match report {
+            Ok(report) => {
+                println!("{path}:");
+                print!("{}", report.render());
+                all_faithful &= report.is_faithful();
+            }
+            Err(message) => {
+                eprintln!("replay: {path}: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(i32::from(!all_faithful));
+}

@@ -1,0 +1,131 @@
+//! Flattens figure result bundles into the `metrics` map of
+//! `BENCH_<figure>.json`.
+//!
+//! Keys are `/`-separated paths ending in the measured quantity, e.g.
+//! `abundant/good/SurfNet/fidelity` or `surfnet/d9/p0.0500/logical_error_rate`.
+//! `bench-diff` infers the comparison direction from the final path
+//! segment (latency and error rates are better when lower), so flatteners
+//! must keep those suffixes.
+
+use surfnet_core::experiments::{fig6a::Fig6a, fig6b::Sweep, fig7::Fig7, fig8::ThresholdCurves};
+
+/// Fig. 6(a): per (scenario, design) throughput, latency, fidelity.
+pub fn fig6a(result: &Fig6a) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for row in &result.rows {
+        let prefix = format!("{}/{}", row.scenario, row.design);
+        out.push((format!("{prefix}/throughput"), row.throughput));
+        out.push((format!("{prefix}/latency"), row.latency));
+        out.push((format!("{prefix}/fidelity"), row.fidelity));
+        out.push((format!("{prefix}/fidelity_std"), row.fidelity_std));
+    }
+    out
+}
+
+/// Short stable key for a sweep parameter (the display labels contain
+/// spaces and formulae).
+pub fn sweep_key(param: surfnet_core::experiments::fig6b::SweepParam) -> &'static str {
+    use surfnet_core::experiments::fig6b::SweepParam;
+    match param {
+        SweepParam::Capacity => "capacity",
+        SweepParam::Entanglement => "entanglement",
+        SweepParam::MessagesPerRequest => "messages",
+        SweepParam::FidelityThreshold => "threshold",
+    }
+}
+
+/// Fig. 6(b): per sweep point fidelity and throughput, keyed by the
+/// varied parameter's value.
+pub fn fig6b(sweep: &Sweep) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for point in &sweep.points {
+        let prefix = format!("{}/x{}", sweep_key(sweep.param), point.x);
+        out.push((format!("{prefix}/fidelity"), point.fidelity));
+        out.push((format!("{prefix}/throughput"), point.throughput));
+    }
+    out
+}
+
+/// Fig. 7: per (scenario, design) fidelity, throughput, latency
+/// percentiles.
+pub fn fig7(result: &Fig7) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for cell in &result.cells {
+        let prefix = format!("{}/{}", cell.scenario, cell.design);
+        out.push((format!("{prefix}/fidelity"), cell.fidelity));
+        out.push((format!("{prefix}/throughput"), cell.throughput));
+        out.push((format!("{prefix}/latency_p50"), cell.latency_p50));
+        out.push((format!("{prefix}/latency_p95"), cell.latency_p95));
+        out.push((format!("{prefix}/latency_p99"), cell.latency_p99));
+    }
+    out
+}
+
+/// Fig. 8: per (decoder, distance, rate) logical error rate plus the
+/// estimated threshold per decoder.
+pub fn fig8(curves: &ThresholdCurves) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for p in &curves.points {
+        out.push((
+            format!(
+                "{}/d{}/p{:.4}/logical_error_rate",
+                curves.decoder, p.distance, p.pauli_rate
+            ),
+            p.logical_error_rate,
+        ));
+    }
+    if let Some(threshold) = curves.threshold {
+        out.push((format!("{}/threshold", curves.decoder), threshold));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfnet_core::experiments::fig8::ThresholdPoint;
+
+    #[test]
+    fn fig8_keys_carry_decoder_distance_and_rate() {
+        let curves = ThresholdCurves {
+            decoder: "surfnet".to_string(),
+            points: vec![ThresholdPoint {
+                distance: 9,
+                pauli_rate: 0.05,
+                logical_error_rate: 0.125,
+                trials: 4,
+            }],
+            threshold: Some(0.07),
+        };
+        let flat = fig8(&curves);
+        assert_eq!(
+            flat,
+            vec![
+                ("surfnet/d9/p0.0500/logical_error_rate".to_string(), 0.125),
+                ("surfnet/threshold".to_string(), 0.07),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig7_emits_five_metrics_per_cell() {
+        let result = surfnet_core::experiments::fig7::Fig7 {
+            cells: vec![surfnet_core::experiments::fig7::Cell {
+                scenario: "abundant/good".to_string(),
+                design: "SurfNet".to_string(),
+                fidelity: 0.9,
+                throughput: 0.8,
+                latency_p50: 10.0,
+                latency_p95: 20.0,
+                latency_p99: 30.0,
+            }],
+            trials: 1,
+        };
+        let flat = fig7(&result);
+        assert_eq!(flat.len(), 5);
+        assert!(flat
+            .iter()
+            .all(|(k, _)| k.starts_with("abundant/good/SurfNet/")));
+        assert_eq!(flat[0], ("abundant/good/SurfNet/fidelity".to_string(), 0.9));
+    }
+}

@@ -12,8 +12,19 @@
 //!
 //! Criterion benches (`cargo bench -p surfnet-bench`) measure the decoder
 //! and matcher scaling claims (Theorems 1–2) and the LP scheduler.
+//!
+//! Beyond the terminal tables, every figure binary also emits a
+//! machine-readable `BENCH_<figure>.json` report ([`report_json`]); the
+//! `bench-diff` binary ([`diff`]) compares two reports and fails on
+//! regressions, and the `replay` binary re-executes flight-recorder
+//! artifacts (`surfnet_core::flight`). Set `SURFNET_TRACE=<path>` to get
+//! a Chrome/Perfetto trace of the run.
 
 use std::env;
+
+pub mod diff;
+pub mod flatten;
+pub mod report_json;
 
 /// Minimal `--key value` argument extraction for the figure binaries.
 ///
@@ -41,11 +52,26 @@ pub fn has_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
-/// Enables telemetry according to `SURFNET_TELEMETRY` (`json` or `table`).
+/// Enables telemetry according to `SURFNET_TELEMETRY` (`json` or `table`),
+/// the event journal according to `SURFNET_TRACE=<path>`, and the failure
+/// flight recorder according to `SURFNET_FLIGHT=<dir>`.
 ///
 /// Every figure binary calls this first thing in `main`.
 pub fn telemetry_init() {
     surfnet_telemetry::Telemetry::init_from_env();
+    surfnet_telemetry::journal::init_from_env();
+    surfnet_core::flight::init_from_env();
+}
+
+/// Writes the accumulated event journal to the `SURFNET_TRACE` path (a
+/// `.jsonl` extension selects JSONL, anything else the Chrome trace
+/// format). Every figure binary calls this last thing in `main`.
+pub fn trace_finish() {
+    match surfnet_telemetry::journal::write_trace() {
+        Ok(Some(path)) => eprintln!("surfnet-trace: wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("surfnet-trace: write failed: {e}"),
+    }
 }
 
 /// Prints the accumulated per-stage breakdown (if telemetry is enabled)

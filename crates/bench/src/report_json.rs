@@ -1,0 +1,175 @@
+//! Machine-readable benchmark reports: `BENCH_<figure>.json`.
+//!
+//! Every figure binary emits one report per figure so CI (and humans) can
+//! diff runs without scraping terminal tables:
+//!
+//! ```text
+//! {
+//!   "schema": "surfnet-bench/v1",
+//!   "figure": "fig7",
+//!   "git_rev": "e3146fa9c0d2",
+//!   "params": { "trials": 4, "seed": 70000 },
+//!   "metrics": { "abundant/good/SurfNet/fidelity": 0.91, ... },
+//!   "counters": { "decoder.growth_rounds": 12345, ... },
+//!   "timers": { "pipeline.evaluate": { "count": 80, "total_ns": ..., ... } }
+//! }
+//! ```
+//!
+//! `metrics` is a flat map (see [`crate::flatten`]) so `bench-diff` can
+//! compare reports key by key. Reports land in `SURFNET_BENCH_DIR`
+//! (default: the current directory; `0`/`off` disables emission). The
+//! report deliberately carries no timestamp — two runs of the same
+//! commit and parameters must produce byte-identical files.
+
+use std::path::PathBuf;
+use surfnet_telemetry::json::{self, Value};
+
+/// Schema tag checked by `bench-diff`.
+pub const SCHEMA: &str = "surfnet-bench/v1";
+
+/// Where reports go: `SURFNET_BENCH_DIR`, defaulting to the current
+/// directory; `""`, `0`, or `off` disables emission.
+pub fn bench_dir() -> Option<PathBuf> {
+    dir_from(std::env::var("SURFNET_BENCH_DIR").ok().as_deref())
+}
+
+fn dir_from(raw: Option<&str>) -> Option<PathBuf> {
+    match raw {
+        Some(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed == "0" || trimmed.eq_ignore_ascii_case("off") {
+                None
+            } else {
+                Some(PathBuf::from(trimmed))
+            }
+        }
+        None => Some(PathBuf::from(".")),
+    }
+}
+
+/// The current git revision (short), or `unknown` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Builds the report value from the flattened figure metrics plus the
+/// *current* telemetry snapshot (call before `telemetry_dump`, which
+/// resets the aggregates).
+pub fn report(figure: &str, params: Vec<(&str, Value)>, metrics: &[(String, f64)]) -> Value {
+    let snap = surfnet_telemetry::snapshot();
+    let counters = Value::Obj(
+        snap.counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::from(*v)))
+            .collect(),
+    );
+    let timers = Value::Obj(
+        snap.timers
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    json::obj(vec![
+                        ("count", Value::from(t.count)),
+                        ("total_ns", Value::from(t.total_ns)),
+                        ("mean_ns", Value::Num(t.mean_ns)),
+                        ("p50_ns", Value::from(t.p50_ns)),
+                        ("p95_ns", Value::from(t.p95_ns)),
+                        ("p99_ns", Value::from(t.p99_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    json::obj(vec![
+        ("schema", Value::from(SCHEMA)),
+        ("figure", Value::from(figure)),
+        ("git_rev", Value::from(git_rev())),
+        ("params", json::obj(params)),
+        (
+            "metrics",
+            Value::Obj(
+                metrics
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        ),
+        ("counters", counters),
+        ("timers", timers),
+    ])
+}
+
+/// Writes `BENCH_<figure>.json` under [`bench_dir`]. Returns the path, or
+/// `None` when emission is disabled or the write failed (reported on
+/// stderr; a bench run never aborts over a report).
+pub fn emit(
+    figure: &str,
+    params: Vec<(&str, Value)>,
+    metrics: &[(String, f64)],
+) -> Option<PathBuf> {
+    let dir = bench_dir()?;
+    let value = report(figure, params, metrics);
+    let mut out = String::new();
+    value.write_pretty(&mut out);
+    out.push('\n');
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, out)) {
+        Ok(()) => {
+            eprintln!("bench: wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("bench: failed to write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_schema_figure_and_flat_metrics() {
+        let metrics = vec![
+            ("a/fidelity".to_string(), 0.5),
+            ("a/latency".to_string(), 7.25),
+        ];
+        let r = report("figX", vec![("trials", Value::from(4u64))], &metrics);
+        assert_eq!(r.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(r.get("figure").and_then(Value::as_str), Some("figX"));
+        assert_eq!(
+            r.get("params")
+                .and_then(|p| p.get("trials"))
+                .and_then(Value::as_u64),
+            Some(4)
+        );
+        let m = r.get("metrics").expect("metrics");
+        assert_eq!(m.get("a/fidelity").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(m.get("a/latency").and_then(Value::as_f64), Some(7.25));
+        // Counters/timers objects exist even with telemetry off.
+        assert!(r.get("counters").and_then(Value::as_object).is_some());
+        assert!(r.get("timers").and_then(Value::as_object).is_some());
+        // And the whole thing round-trips through the parser.
+        let text = r.to_string();
+        assert_eq!(Value::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn bench_dir_disable_values() {
+        assert_eq!(dir_from(None), Some(PathBuf::from(".")));
+        assert_eq!(dir_from(Some("out")), Some(PathBuf::from("out")));
+        assert_eq!(dir_from(Some(" out ")), Some(PathBuf::from("out")));
+        assert_eq!(dir_from(Some("")), None);
+        assert_eq!(dir_from(Some("0")), None);
+        assert_eq!(dir_from(Some("OFF")), None);
+    }
+}

@@ -8,9 +8,11 @@
 //! each correction point, and declares the communication successful when
 //! no segment suffers a logical error.
 
+use crate::flight;
 use rand::Rng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use surfnet_decoder::{Decoder, SurfNetDecoder, UnionFindDecoder};
-use surfnet_lattice::{ErrorModel, Partition, SurfaceCode};
+use surfnet_lattice::{DecodeOutcome, ErrorModel, ErrorSample, Partition, SurfaceCode};
 use surfnet_netsim::execution::{ExecutionOutcome, SegmentOutcome};
 
 /// Which decoder the servers run.
@@ -60,23 +62,50 @@ pub fn evaluate_transfer<R: Rng + ?Sized>(
     if !outcome.completed {
         return false;
     }
-    for segment in &outcome.segments {
+    for (idx, segment) in outcome.segments.iter().enumerate() {
         let model = segment_error_model(code, partition, segment);
         let sample = model.sample(rng);
-        let result = match decoder {
-            DecoderKind::SurfNet => {
-                SurfNetDecoder::from_model(code, &model).decode_sample(code, &sample)
+        let result = if flight::armed() {
+            flight::set_segment(idx);
+            // A tripped SURFNET_CHECK invariant aborts the process; with
+            // the recorder armed, capture the offending shot first so the
+            // panic leaves a replayable artifact behind.
+            match catch_unwind(AssertUnwindSafe(|| {
+                decode_segment(code, &model, &sample, decoder)
+            })) {
+                Ok(result) => result,
+                Err(payload) => {
+                    let message = flight::panic_text(&payload);
+                    flight::capture_invariant_panic(code, &model, &sample, &message);
+                    resume_unwind(payload)
+                }
             }
-            DecoderKind::UnionFind => {
-                UnionFindDecoder::from_model(code, &model).decode_sample(code, &sample)
-            }
+        } else {
+            decode_segment(code, &model, &sample, decoder)
         };
         debug_assert!(result.syndrome_cleared);
         if !result.is_success() {
+            surfnet_telemetry::event!("evaluate.shot_failed");
+            flight::capture_logical_error(code, &model, &sample);
             return false;
         }
     }
     true
+}
+
+/// One segment's decode under the selected decoder.
+fn decode_segment(
+    code: &SurfaceCode,
+    model: &ErrorModel,
+    sample: &ErrorSample,
+    decoder: DecoderKind,
+) -> DecodeOutcome {
+    match decoder {
+        DecoderKind::SurfNet => SurfNetDecoder::from_model(code, model).decode_sample(code, sample),
+        DecoderKind::UnionFind => {
+            UnionFindDecoder::from_model(code, model).decode_sample(code, sample)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,11 @@ pub fn parallel_trials(
                     let metrics = run_trial(design, cfg, seed).unwrap_or_default();
                     results.lock().push((seed, metrics));
                 }
+                // Scope join does not wait for TLS destructors, so drain
+                // the journal ring explicitly before the closure returns —
+                // otherwise a trace written right after this scope can miss
+                // this worker's events.
+                surfnet_telemetry::journal::flush_thread();
             });
         }
     });
@@ -76,6 +81,8 @@ where
                     let out = f(&item);
                     results.lock().push((i, out));
                 }
+                // See parallel_trials: flush before the scope observes exit.
+                surfnet_telemetry::journal::flush_thread();
             });
         }
     });

@@ -11,6 +11,8 @@
 //!   from the execution records;
 //! * [`metrics`] — fidelity / latency / throughput aggregation;
 //! * [`experiments`] — drivers regenerating Figs. 6(a), 6(b.1–4), 7, 8;
+//! * [`flight`] — the failure flight recorder: failing shots captured into
+//!   deterministic replay artifacts (`SURFNET_FLIGHT=<dir>`);
 //! * [`report`] — terminal tables and series renderings.
 //!
 //! # Examples
@@ -31,6 +33,7 @@
 
 pub mod evaluate;
 pub mod experiments;
+pub mod flight;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;

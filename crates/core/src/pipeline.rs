@@ -3,6 +3,7 @@
 //! sampling and decoding the transferred surface codes.
 
 use crate::evaluate::{evaluate_transfer, DecoderKind};
+use crate::flight;
 use crate::metrics::TrialMetrics;
 use crate::scenario::TrialConfig;
 use rand::rngs::SmallRng;
@@ -108,6 +109,18 @@ pub fn run_trial(
     cfg: &TrialConfig,
     seed: u64,
 ) -> Result<TrialMetrics, PipelineError> {
+    surfnet_telemetry::event!(begin "pipeline.trial");
+    let _flight = flight::seed_scope(seed);
+    let result = run_trial_seeded(design, cfg, seed);
+    surfnet_telemetry::event!(end "pipeline.trial");
+    result
+}
+
+fn run_trial_seeded(
+    design: Design,
+    cfg: &TrialConfig,
+    seed: u64,
+) -> Result<TrialMetrics, PipelineError> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let net = {
         let _span = surfnet_telemetry::span!("pipeline.network_gen");
@@ -148,6 +161,7 @@ pub fn run_trial_on<R: Rng + ?Sized>(
     requests: &[Request],
     rng: &mut R,
 ) -> Result<TrialMetrics, PipelineError> {
+    let _flight = flight::trial_scope(&design.label(), &cfg.scenario.label(), cfg.code_distance);
     let requested: u32 = requests.iter().map(|r| r.num_codes).sum();
     match design {
         Design::SurfNet | Design::Raw => {

@@ -1,21 +1,24 @@
 //! The registered metric-name catalog.
 //!
-//! Every `span!`/`timer()` and `count!`/`counter()` name used outside the
-//! telemetry crate itself must appear here with the right kind. The
-//! `surfnet-analyzer` `telemetry-name` lint enforces this statically, which
-//! turns a typo'd metric name (silently recording into a fresh, never-read
-//! series) into a CI failure.
+//! Every `span!`/`timer()`, `count!`/`counter()`, and `event!` name used
+//! outside the telemetry crate itself must appear here with the right
+//! kind. The `surfnet-analyzer` `telemetry-name` lint enforces this
+//! statically, which turns a typo'd metric name (silently recording into a
+//! fresh, never-read series) into a CI failure.
 //!
 //! Keep [`CATALOG`] sorted by name: [`lookup`] binary-searches it, and
 //! [`validate`] rejects out-of-order or duplicate entries.
 
-/// Whether a metric name denotes a counter or a span/timer.
+/// Whether a metric name denotes a counter, a span/timer, or a journal
+/// event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Monotonic event count (`count!` / `counter()`).
     Counter,
     /// Wall-clock span accumulation (`span!` / `timer()`).
     Timer,
+    /// Journal record (`event!`), exported via `SURFNET_TRACE`.
+    Event,
 }
 
 /// All registered metric names, sorted by name.
@@ -33,6 +36,9 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("decoder.peeling_passes", MetricKind::Counter),
     ("decoder.surfnet.decode", MetricKind::Timer),
     ("decoder.union_find.decode", MetricKind::Timer),
+    ("evaluate.shot_failed", MetricKind::Event),
+    ("flight.capture", MetricKind::Event),
+    ("flight.captured", MetricKind::Counter),
     ("lp.iterations", MetricKind::Counter),
     ("lp.pivots", MetricKind::Counter),
     ("lp.solve", MetricKind::Timer),
@@ -47,10 +53,12 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("pipeline.network_gen", MetricKind::Timer),
     ("pipeline.requests", MetricKind::Timer),
     ("pipeline.schedule", MetricKind::Timer),
+    ("pipeline.trial", MetricKind::Event),
     ("routing.assign_codes", MetricKind::Timer),
     ("routing.codes_scheduled", MetricKind::Counter),
     ("routing.infeasible_attempts", MetricKind::Counter),
     ("routing.schedule", MetricKind::Timer),
+    ("telemetry.dropped", MetricKind::Counter),
 ];
 
 /// Looks up a metric name, returning its registered kind.
@@ -85,6 +93,8 @@ mod tests {
     fn lookup_finds_registered_names_with_kind() {
         assert_eq!(lookup("lp.solve"), Some(MetricKind::Timer));
         assert_eq!(lookup("lp.solves"), Some(MetricKind::Counter));
+        assert_eq!(lookup("flight.capture"), Some(MetricKind::Event));
+        assert_eq!(lookup("telemetry.dropped"), Some(MetricKind::Counter));
         assert_eq!(lookup("no.such.metric"), None);
     }
 }

@@ -47,14 +47,18 @@
 
 pub mod catalog;
 pub mod hist;
+pub mod journal;
+pub mod json;
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
-/// Hard cap on distinct metrics; registration panics beyond it. Generous:
-/// the workspace registers a few dozen.
+/// Cap on distinct metrics. Registrations beyond the budget are dropped
+/// (not panicked on — see [`dropped_metrics`]): the extra series records
+/// nowhere and the `telemetry.dropped` counter reports how many call sites
+/// were shed. Generous: the workspace registers a few dozen.
 pub const MAX_METRICS: usize = 512;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -79,6 +83,14 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Returns whether *any* recording layer wants span guards: aggregate
+/// telemetry ([`enabled`]) or the event journal ([`journal::enabled`]).
+/// Two relaxed loads when both are off.
+#[inline(always)]
+pub fn recording() -> bool {
+    enabled() || journal::enabled()
+}
+
 /// Global configuration handle.
 ///
 /// The constructors are process-global switches (telemetry state is global
@@ -100,16 +112,19 @@ impl Telemetry {
         Telemetry
     }
 
-    /// Reads `SURFNET_TELEMETRY` (`json` or `table`, anything else = off),
-    /// enables recording accordingly, and returns the selected mode.
+    /// Reads `SURFNET_TELEMETRY` (`json`, `table`, or unset), enables
+    /// recording accordingly, and returns the selected mode. An
+    /// unrecognized value prints a diagnostic to stderr (it almost always
+    /// means a typo'd mode that would otherwise silently record nothing)
+    /// and falls back to [`Mode::Off`].
     pub fn init_from_env() -> Mode {
-        let value = std::env::var("SURFNET_TELEMETRY")
-            .map(|v| v.trim().to_ascii_lowercase())
-            .unwrap_or_default();
-        let mode = match value.as_str() {
-            "json" => Mode::Json,
-            "table" => Mode::Table,
-            _ => Mode::Off,
+        let raw = std::env::var("SURFNET_TELEMETRY").unwrap_or_default();
+        let mode = match parse_mode(&raw) {
+            Ok(mode) => mode,
+            Err(message) => {
+                eprintln!("surfnet-telemetry: {message}");
+                Mode::Off
+            }
         };
         MODE.store(
             match mode {
@@ -130,6 +145,26 @@ impl Telemetry {
             2 => Mode::Table,
             _ => Mode::Off,
         }
+    }
+}
+
+/// Parses a `SURFNET_TELEMETRY` value: `json`, `table`, or unset/empty
+/// (case-insensitive, surrounding whitespace ignored).
+///
+/// # Errors
+///
+/// Anything else is rejected with a message naming the bad value and the
+/// accepted ones — [`Telemetry::init_from_env`] prints it to stderr rather
+/// than silently running with telemetry off.
+pub fn parse_mode(raw: &str) -> Result<Mode, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(Mode::Off),
+        "json" => Ok(Mode::Json),
+        "table" => Ok(Mode::Table),
+        other => Err(format!(
+            "unrecognized SURFNET_TELEMETRY value {other:?}; \
+             expected \"json\", \"table\", or unset"
+        )),
     }
 }
 
@@ -173,6 +208,29 @@ fn registry() -> &'static Registry {
     })
 }
 
+/// Sentinel id for a metric dropped by the budget check: recording into it
+/// is a no-op.
+const DROPPED_ID: u32 = u32::MAX;
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static BUDGET: AtomicUsize = AtomicUsize::new(MAX_METRICS);
+
+/// How many metric registrations have been dropped because the budget
+/// ([`MAX_METRICS`]) was exhausted. Also exported by [`snapshot`] as the
+/// `telemetry.dropped` counter.
+pub fn dropped_metrics() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Overrides the metric budget (test support — lets the exhaustion path be
+/// exercised without filling all [`MAX_METRICS`] slots of the process-wide
+/// registry). Values above [`MAX_METRICS`] are clamped: the backing arrays
+/// are fixed-size.
+#[doc(hidden)]
+pub fn set_metric_budget(budget: usize) {
+    BUDGET.store(budget.min(MAX_METRICS), Ordering::Relaxed);
+}
+
 fn register(name: &'static str, kind: Kind) -> u32 {
     let reg = registry();
     let mut names = reg.names.lock().unwrap_or_else(PoisonError::into_inner);
@@ -183,7 +241,21 @@ fn register(name: &'static str, kind: Kind) -> u32 {
         );
         return id as u32;
     }
-    assert!(names.len() < MAX_METRICS, "too many metrics (MAX_METRICS)");
+    if names.len() >= BUDGET.load(Ordering::Relaxed) {
+        // Budget exhausted: a recording layer must not panic mid-run. Shed
+        // the metric, count the loss, and say so once.
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "surfnet-telemetry: metric budget exhausted ({} metrics); \
+                 dropping {name:?} and any further registrations \
+                 (see the telemetry.dropped counter)",
+                names.len()
+            );
+        }
+        return DROPPED_ID;
+    }
     names.push(Meta { name, kind });
     (names.len() - 1) as u32
 }
@@ -221,6 +293,9 @@ impl Counter {
     #[doc(hidden)]
     #[inline]
     pub fn add_unconditional(&self, n: u64) {
+        if self.id == DROPPED_ID {
+            return;
+        }
         let id = self.id as usize;
         SHARD.with(|s| s.borrow_mut().counts[id] += n);
     }
@@ -231,33 +306,44 @@ impl Counter {
 #[derive(Debug, Clone, Copy)]
 pub struct Timer {
     id: u32,
+    name: &'static str,
 }
 
 /// Registers (or finds) the timer `name`.
 pub fn timer(name: &'static str) -> Timer {
     Timer {
         id: register(name, Kind::Timer),
+        name,
     }
 }
 
 impl Timer {
     /// Starts a span; the elapsed wall time records when the guard drops.
+    /// When the [`journal`] is enabled the guard also emits a
+    /// `Begin`/`End` pair, so span timers appear as nested durations in
+    /// exported traces.
     #[inline]
     pub fn start(&self) -> Span {
+        let in_journal = journal::enabled();
+        if in_journal {
+            journal::record(self.name, journal::Phase::Begin, None);
+        }
         Span {
             id: self.id,
+            name: self.name,
             start: if enabled() {
                 Some(Instant::now())
             } else {
                 None
             },
+            in_journal,
         }
     }
 
     /// Records an externally measured duration in nanoseconds.
     #[inline]
     pub fn record_ns(&self, ns: u64) {
-        if enabled() {
+        if enabled() && self.id != DROPPED_ID {
             let id = self.id as usize;
             SHARD.with(|s| {
                 let mut shard = s.borrow_mut();
@@ -282,23 +368,37 @@ impl Timer {
 #[must_use = "a span records on drop; binding it to _ drops it immediately"]
 pub struct Span {
     id: u32,
+    name: &'static str,
     start: Option<Instant>,
+    in_journal: bool,
 }
 
 impl Span {
     /// A guard that records nothing (disabled mode).
     #[inline]
     pub fn inert() -> Span {
-        Span { id: 0, start: None }
+        Span {
+            id: DROPPED_ID,
+            name: "",
+            start: None,
+            in_journal: false,
+        }
     }
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
+        if self.in_journal {
+            journal::record(self.name, journal::Phase::End, None);
+        }
         if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            Timer { id: self.id }.record_ns(ns);
+            Timer {
+                id: self.id,
+                name: self.name,
+            }
+            .record_ns(ns);
         }
     }
 }
@@ -323,16 +423,67 @@ macro_rules! count {
 }
 
 /// Per-call-site span timer: `let _span = span!("decoder.decode");`.
-/// Returns an inert guard when disabled.
+/// Returns an inert guard when disabled. Active whenever *either* the
+/// aggregate layer or the event journal is recording — in the latter case
+/// the guard emits `Begin`/`End` journal records instead of (or as well
+/// as) histogram samples.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
-        if $crate::enabled() {
+        if $crate::recording() {
             static __SURFNET_TIMER: ::std::sync::OnceLock<$crate::Timer> =
                 ::std::sync::OnceLock::new();
             __SURFNET_TIMER.get_or_init(|| $crate::timer($name)).start()
         } else {
             $crate::Span::inert()
+        }
+    };
+}
+
+/// Per-call-site journal event. Records nothing unless the event journal
+/// is enabled (`SURFNET_TRACE`); disabled cost is one relaxed load.
+///
+/// * `event!("name")` — point-in-time marker;
+/// * `event!("name", arg)` — marker with a `u64` payload;
+/// * `event!(begin "name")` / `event!(end "name")` — an explicit duration
+///   pair, for regions that cannot be expressed as one RAII [`span!`]
+///   scope (e.g. spanning across a channel hand-off).
+#[macro_export]
+macro_rules! event {
+    (begin $name:expr) => {
+        if $crate::journal::enabled() {
+            $crate::journal::record(
+                $name,
+                $crate::journal::Phase::Begin,
+                ::core::option::Option::None,
+            );
+        }
+    };
+    (end $name:expr) => {
+        if $crate::journal::enabled() {
+            $crate::journal::record(
+                $name,
+                $crate::journal::Phase::End,
+                ::core::option::Option::None,
+            );
+        }
+    };
+    ($name:expr) => {
+        if $crate::journal::enabled() {
+            $crate::journal::record(
+                $name,
+                $crate::journal::Phase::Instant,
+                ::core::option::Option::None,
+            );
+        }
+    };
+    ($name:expr, $arg:expr) => {
+        if $crate::journal::enabled() {
+            $crate::journal::record(
+                $name,
+                $crate::journal::Phase::Instant,
+                ::core::option::Option::Some($arg as u64),
+            );
         }
     };
 }
@@ -493,12 +644,18 @@ pub fn snapshot() -> Snapshot {
             }
         }
     }
+    // Surface budget exhaustion in every export, even though no call site
+    // registers this name: dropped series are invisible by definition.
+    snap.counters
+        .push(("telemetry.dropped".to_string(), dropped_metrics()));
     snap
 }
 
-/// Zeroes every metric (global shard and the calling thread's shard).
-/// Registered names and call-site handles stay valid.
+/// Zeroes every metric (global shard and the calling thread's shard),
+/// including the dropped-registration count. Registered names and
+/// call-site handles stay valid.
 pub fn reset() {
+    DROPPED.store(0, Ordering::Relaxed);
     SHARD.with(|s| {
         let mut shard = s.borrow_mut();
         shard.counts.iter_mut().for_each(|c| *c = 0);
@@ -705,7 +862,10 @@ mod tests {
                         for _ in 0..1000 {
                             c.add(1);
                         }
-                        // Shard merges on thread exit.
+                        // Scope join does not wait for TLS destructors
+                        // (see journal::flush_thread), so merge the shard
+                        // explicitly before the closure returns.
+                        flush();
                     });
                 }
             });
@@ -761,5 +921,98 @@ mod tests {
         assert_eq!(Telemetry::init_from_env(), Mode::Off);
         assert!(!enabled());
         assert!(env_report().is_none());
+    }
+
+    #[test]
+    fn parse_mode_accepts_known_and_rejects_unknown() {
+        assert_eq!(parse_mode(""), Ok(Mode::Off));
+        assert_eq!(parse_mode("  "), Ok(Mode::Off));
+        assert_eq!(parse_mode("json"), Ok(Mode::Json));
+        assert_eq!(parse_mode(" TABLE "), Ok(Mode::Table));
+        for bad in ["jsonl", "yes", "1", "tables", "off-by-one"] {
+            let err = parse_mode(bad).unwrap_err();
+            assert!(err.contains(bad), "{err}");
+            assert!(err.contains("SURFNET_TELEMETRY"), "{err}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_drops_metrics_instead_of_panicking() {
+        with_isolated(|| {
+            // Shrink the budget to the metrics registered so far, so the
+            // next registration is over quota.
+            let registered = {
+                let reg = registry();
+                let names = reg.names.lock().unwrap_or_else(PoisonError::into_inner);
+                names.len()
+            };
+            set_metric_budget(registered);
+            let c = counter("test.over-budget-counter");
+            c.add(5);
+            let t = timer("test.over-budget-timer");
+            t.record_ns(1_000);
+            drop(t.start());
+            set_metric_budget(MAX_METRICS);
+
+            let snap = snapshot();
+            assert_eq!(snap.counter("test.over-budget-counter"), None);
+            assert!(snap.timer("test.over-budget-timer").is_none());
+            assert_eq!(snap.counter("telemetry.dropped"), Some(2));
+            assert!(render_json(&snap).contains("\"telemetry.dropped\":2"));
+            // An existing metric still works while over budget.
+            count!("test.still-works");
+            assert_eq!(snapshot().counter("test.still-works"), Some(1));
+        });
+    }
+
+    #[test]
+    fn spans_emit_journal_begin_end_pairs() {
+        with_isolated(|| {
+            let _jg = journal::test_guard();
+            journal::reset();
+            journal::set_enabled(true);
+            {
+                let _span = span!("test.journal-span");
+                event!("test.journal-mark", 9);
+            }
+            journal::set_enabled(false);
+            let events = journal::collect();
+            let kinds: Vec<(&str, journal::Phase)> =
+                events.iter().map(|e| (e.name.as_str(), e.phase)).collect();
+            assert_eq!(
+                kinds,
+                [
+                    ("test.journal-span", journal::Phase::Begin),
+                    ("test.journal-mark", journal::Phase::Instant),
+                    ("test.journal-span", journal::Phase::End),
+                ]
+            );
+            assert_eq!(events[1].arg, Some(9));
+            journal::reset();
+        });
+    }
+
+    #[test]
+    fn journal_only_mode_skips_aggregates_but_records_events() {
+        with_isolated(|| {
+            let _jg = journal::test_guard();
+            let _t = Telemetry::disabled();
+            journal::reset();
+            journal::set_enabled(true);
+            assert!(recording());
+            {
+                let _span = span!("test.journal-only");
+            }
+            journal::set_enabled(false);
+            let _t = Telemetry::enabled();
+            // The journal saw the span...
+            let events = journal::collect();
+            assert_eq!(events.len(), 2);
+            // ...but the aggregate layer recorded nothing.
+            assert!(snapshot()
+                .timer("test.journal-only")
+                .is_none_or(|t| t.count == 0));
+            journal::reset();
+        });
     }
 }
