@@ -10,7 +10,6 @@ use surfnet_bench::{arg_or, args, report_json, telemetry_dump, telemetry_init, t
 use surfnet_core::experiments::runner::parallel_trials;
 use surfnet_core::pipeline::Design;
 use surfnet_core::scenario::TrialConfig;
-use surfnet_core::MetricsSummary;
 use surfnet_telemetry::json::Value;
 
 fn main() {
@@ -23,7 +22,7 @@ fn main() {
     for (label, concurrent) in [("independent", false), ("concurrent", true)] {
         let mut cfg = TrialConfig::default();
         cfg.concurrent_execution = concurrent;
-        let m = MetricsSummary::from_trials(&parallel_trials(Design::SurfNet, &cfg, trials, seed));
+        let m = parallel_trials(Design::SurfNet, &cfg, trials, seed).summary();
         println!(
             "  {label:<12} fidelity {:.3}  latency {:>7.1}  throughput {:.3}",
             m.fidelity, m.latency, m.throughput

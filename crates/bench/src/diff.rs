@@ -1,7 +1,7 @@
 //! Compares two `BENCH_<figure>.json` reports and flags regressions.
 //!
 //! The comparison direction is inferred from each metric's final path
-//! segment: latency, error, dropped, and infeasible series are better when
+//! segment: latency, error, dropped, failed, and infeasible series are better when
 //! *lower*; everything else (fidelity, throughput, threshold) is better
 //! when *higher*. A metric regresses when it moves in the bad direction by
 //! more than `tol` relative to the baseline value. Counters are only
@@ -84,7 +84,7 @@ impl DiffReport {
 /// Whether a metric key denotes a lower-is-better quantity.
 pub fn lower_is_better(name: &str) -> bool {
     let last = name.rsplit('/').next().unwrap_or(name);
-    ["latency", "error", "dropped", "infeasible", "std"]
+    ["latency", "error", "dropped", "infeasible", "std", "failed"]
         .iter()
         .any(|marker| last.contains(marker))
 }
@@ -218,6 +218,7 @@ mod tests {
         assert!(lower_is_better("a/b/latency_p99"));
         assert!(lower_is_better("surfnet/d9/p0.0500/logical_error_rate"));
         assert!(lower_is_better("telemetry.dropped"));
+        assert!(lower_is_better("a/b/failed_trials"));
         assert!(!lower_is_better("a/b/fidelity"));
         assert!(!lower_is_better("a/b/throughput"));
         assert!(!lower_is_better("surfnet/threshold"));

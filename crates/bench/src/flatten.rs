@@ -57,6 +57,7 @@ pub fn fig7(result: &Fig7) -> Vec<(String, f64)> {
         out.push((format!("{prefix}/latency_p50"), cell.latency_p50));
         out.push((format!("{prefix}/latency_p95"), cell.latency_p95));
         out.push((format!("{prefix}/latency_p99"), cell.latency_p99));
+        out.push((format!("{prefix}/failed_trials"), cell.failed_trials as f64));
     }
     out
 }
@@ -108,7 +109,7 @@ mod tests {
     }
 
     #[test]
-    fn fig7_emits_five_metrics_per_cell() {
+    fn fig7_emits_six_metrics_per_cell() {
         let result = surfnet_core::experiments::fig7::Fig7 {
             cells: vec![surfnet_core::experiments::fig7::Cell {
                 scenario: "abundant/good".to_string(),
@@ -118,11 +119,12 @@ mod tests {
                 latency_p50: 10.0,
                 latency_p95: 20.0,
                 latency_p99: 30.0,
+                failed_trials: 1,
             }],
             trials: 1,
         };
         let flat = fig7(&result);
-        assert_eq!(flat.len(), 5);
+        assert_eq!(flat.len(), 6);
         assert!(flat
             .iter()
             .all(|(k, _)| k.starts_with("abundant/good/SurfNet/")));

@@ -7,12 +7,23 @@
 //! qubits the plain channel's), samples the physical errors, decodes at
 //! each correction point, and declares the communication successful when
 //! no segment suffers a logical error.
+//!
+//! Decoder construction (graph building, fidelity-to-weight tables) is
+//! far more expensive than a single decode, and segments within a trial
+//! overwhelmingly share the same Core/Support fidelity signature (the
+//! paper's Sec. IV error model is uniform per channel class). The
+//! [`DecoderCache`] therefore memoizes one constructed decoder + error
+//! model per distinct signature and reuses one [`DecodeWorkspace`] across
+//! every shot, so the steady-state decode loop allocates nothing.
 
 use crate::flight;
+use crate::pipeline::PipelineError;
 use rand::Rng;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use surfnet_decoder::{Decoder, SurfNetDecoder, UnionFindDecoder};
-use surfnet_lattice::{DecodeOutcome, ErrorModel, ErrorSample, Partition, SurfaceCode};
+use surfnet_decoder::{DecodeWorkspace, SurfNetDecoder, UnionFindDecoder};
+use surfnet_lattice::{
+    DecodeOutcome, ErrorModel, ErrorSample, LatticeError, Partition, SurfaceCode,
+};
 use surfnet_netsim::execution::{ExecutionOutcome, SegmentOutcome};
 
 /// Which decoder the servers run.
@@ -25,11 +36,17 @@ pub enum DecoderKind {
 }
 
 /// Builds the per-qubit error model one segment induces on the code.
+///
+/// # Errors
+///
+/// Returns a [`LatticeError`] when the segment record carries a fidelity
+/// or erasure probability outside `[0, 1]` (the netsim layer clamps at
+/// the source, so this indicates a corrupted record).
 pub fn segment_error_model(
     code: &SurfaceCode,
     partition: &Partition,
     segment: &SegmentOutcome,
-) -> ErrorModel {
+) -> Result<ErrorModel, LatticeError> {
     let n = code.num_data_qubits();
     let mut fidelities = vec![0.0; n];
     let mut erasures = vec![0.0; n];
@@ -43,69 +60,197 @@ pub fn segment_error_model(
         }
     }
     ErrorModel::from_fidelities(code, &fidelities, &erasures)
-        .expect("segment records are valid probabilities")
 }
 
-/// Samples and decodes every segment of one executed transfer; returns
-/// whether the communication completed without any logical error.
+/// A segment's error-model signature: the four channel probabilities
+/// (bit-exact, via [`f64::to_bits`]) plus the decoder kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegmentKey {
+    core_fidelity: u64,
+    core_erasure: u64,
+    support_fidelity: u64,
+    support_erasure: u64,
+    decoder: DecoderKind,
+}
+
+impl SegmentKey {
+    fn new(segment: &SegmentOutcome, decoder: DecoderKind) -> SegmentKey {
+        SegmentKey {
+            core_fidelity: segment.core_fidelity.to_bits(),
+            core_erasure: segment.core_erasure_prob.to_bits(),
+            support_fidelity: segment.support_fidelity.to_bits(),
+            support_erasure: segment.support_erasure_prob.to_bits(),
+            decoder,
+        }
+    }
+}
+
+/// A constructed decoder of either kind.
+#[derive(Debug)]
+enum AnyDecoder {
+    SurfNet(SurfNetDecoder),
+    UnionFind(UnionFindDecoder),
+}
+
+impl AnyDecoder {
+    fn decode_sample_with(
+        &self,
+        code: &SurfaceCode,
+        sample: &ErrorSample,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeOutcome {
+        match self {
+            AnyDecoder::SurfNet(d) => d.decode_sample_with(code, sample, ws),
+            AnyDecoder::UnionFind(d) => d.decode_sample_with(code, sample, ws),
+        }
+    }
+}
+
+/// One cached decoder + the error model it was built from.
+#[derive(Debug)]
+struct CacheEntry {
+    model: ErrorModel,
+    decoder: AnyDecoder,
+}
+
+/// Per-trial decoder cache: one constructed decoder and [`ErrorModel`]
+/// per distinct segment signature, plus one shared [`DecodeWorkspace`]
+/// for every shot.
 ///
-/// Error correction happens at the end of every segment (servers) and at
-/// delivery (the receiving user ultimately decodes the logical qubit), so
-/// every segment's accumulated error is decoded against the code.
+/// Build one per trial (signatures are derived from the trial's network,
+/// so reuse across trials would only grow the table) and feed every
+/// transfer of the trial through [`Self::evaluate_transfer`].
+#[derive(Debug, Default)]
+pub struct DecoderCache {
+    // A Vec with linear scan, not a hash map: a trial produces only a
+    // handful of distinct signatures (one per channel-quality class), and
+    // scanning a few entries beats hashing four floats every shot — it
+    // also keeps iteration order deterministic for telemetry.
+    entries: Vec<(SegmentKey, CacheEntry)>,
+    workspace: DecodeWorkspace,
+}
+
+impl DecoderCache {
+    /// An empty cache; decoders are constructed on first use.
+    pub fn new() -> DecoderCache {
+        DecoderCache::default()
+    }
+
+    /// Number of distinct decoders constructed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no decoder has been constructed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn entry_index(
+        &mut self,
+        code: &SurfaceCode,
+        partition: &Partition,
+        segment: &SegmentOutcome,
+        decoder: DecoderKind,
+    ) -> Result<usize, LatticeError> {
+        let key = SegmentKey::new(segment, decoder);
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            surfnet_telemetry::count!("decoder.cache_hits");
+            return Ok(i);
+        }
+        surfnet_telemetry::count!("decoder.cache_misses");
+        let model = segment_error_model(code, partition, segment)?;
+        let built = match decoder {
+            DecoderKind::SurfNet => AnyDecoder::SurfNet(SurfNetDecoder::from_model(code, &model)),
+            DecoderKind::UnionFind => {
+                AnyDecoder::UnionFind(UnionFindDecoder::from_model(code, &model))
+            }
+        };
+        self.entries.push((
+            key,
+            CacheEntry {
+                model,
+                decoder: built,
+            },
+        ));
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Samples and decodes every segment of one executed transfer;
+    /// returns whether the communication completed without any logical
+    /// error. Bit-identical to constructing a fresh decoder per segment —
+    /// same rng draw order, same corrections.
+    ///
+    /// Error correction happens at the end of every segment (servers) and
+    /// at delivery (the receiving user ultimately decodes the logical
+    /// qubit), so every segment's accumulated error is decoded against
+    /// the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Lattice`] when a segment record carries a
+    /// probability outside `[0, 1]`.
+    pub fn evaluate_transfer<R: Rng + ?Sized>(
+        &mut self,
+        code: &SurfaceCode,
+        partition: &Partition,
+        outcome: &ExecutionOutcome,
+        decoder: DecoderKind,
+        rng: &mut R,
+    ) -> Result<bool, PipelineError> {
+        if !outcome.completed {
+            return Ok(false);
+        }
+        for (idx, segment) in outcome.segments.iter().enumerate() {
+            let i = self.entry_index(code, partition, segment, decoder)?;
+            let DecoderCache { entries, workspace } = self;
+            let entry = &entries[i].1;
+            let sample = entry.model.sample(rng);
+            let result = if flight::armed() {
+                flight::set_segment(idx);
+                // A tripped SURFNET_CHECK invariant aborts the process;
+                // with the recorder armed, capture the offending shot
+                // first so the panic leaves a replayable artifact behind.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    entry.decoder.decode_sample_with(code, &sample, workspace)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let message = flight::panic_text(&payload);
+                        flight::capture_invariant_panic(code, &entry.model, &sample, &message);
+                        resume_unwind(payload)
+                    }
+                }
+            } else {
+                entry.decoder.decode_sample_with(code, &sample, workspace)
+            };
+            debug_assert!(result.syndrome_cleared);
+            if !result.is_success() {
+                surfnet_telemetry::event!("evaluate.shot_failed");
+                flight::capture_logical_error(code, &entry.model, &sample);
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Samples and decodes every segment of one executed transfer with a
+/// transient [`DecoderCache`] (see [`DecoderCache::evaluate_transfer`]).
+/// Loops decoding many transfers should hold a cache instead.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Lattice`] when a segment record carries a
+/// probability outside `[0, 1]`.
 pub fn evaluate_transfer<R: Rng + ?Sized>(
     code: &SurfaceCode,
     partition: &Partition,
     outcome: &ExecutionOutcome,
     decoder: DecoderKind,
     rng: &mut R,
-) -> bool {
-    if !outcome.completed {
-        return false;
-    }
-    for (idx, segment) in outcome.segments.iter().enumerate() {
-        let model = segment_error_model(code, partition, segment);
-        let sample = model.sample(rng);
-        let result = if flight::armed() {
-            flight::set_segment(idx);
-            // A tripped SURFNET_CHECK invariant aborts the process; with
-            // the recorder armed, capture the offending shot first so the
-            // panic leaves a replayable artifact behind.
-            match catch_unwind(AssertUnwindSafe(|| {
-                decode_segment(code, &model, &sample, decoder)
-            })) {
-                Ok(result) => result,
-                Err(payload) => {
-                    let message = flight::panic_text(&payload);
-                    flight::capture_invariant_panic(code, &model, &sample, &message);
-                    resume_unwind(payload)
-                }
-            }
-        } else {
-            decode_segment(code, &model, &sample, decoder)
-        };
-        debug_assert!(result.syndrome_cleared);
-        if !result.is_success() {
-            surfnet_telemetry::event!("evaluate.shot_failed");
-            flight::capture_logical_error(code, &model, &sample);
-            return false;
-        }
-    }
-    true
-}
-
-/// One segment's decode under the selected decoder.
-fn decode_segment(
-    code: &SurfaceCode,
-    model: &ErrorModel,
-    sample: &ErrorSample,
-    decoder: DecoderKind,
-) -> DecodeOutcome {
-    match decoder {
-        DecoderKind::SurfNet => SurfNetDecoder::from_model(code, model).decode_sample(code, sample),
-        DecoderKind::UnionFind => {
-            UnionFindDecoder::from_model(code, model).decode_sample(code, sample)
-        }
-    }
+) -> Result<bool, PipelineError> {
+    DecoderCache::new().evaluate_transfer(code, partition, outcome, decoder, rng)
 }
 
 #[cfg(test)]
@@ -135,7 +280,7 @@ mod tests {
     #[test]
     fn model_assigns_channel_rates_by_partition() {
         let (code, part) = code_and_partition();
-        let model = segment_error_model(&code, &part, &segment(0.95, 0.85, 0.1));
+        let model = segment_error_model(&code, &part, &segment(0.95, 0.85, 0.1)).unwrap();
         for q in 0..code.num_data_qubits() {
             if part.is_core(q) {
                 assert!((model.pauli_prob(q) - 0.05).abs() < 1e-12);
@@ -148,6 +293,22 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_segment_is_an_error_not_a_panic() {
+        let (code, part) = code_and_partition();
+        assert!(segment_error_model(&code, &part, &segment(1.5, 0.9, 0.1)).is_err());
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 3,
+            segments: vec![segment(0.9, 0.8, 1.25)],
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(matches!(
+            evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng),
+            Err(PipelineError::Lattice(_))
+        ));
+    }
+
+    #[test]
     fn perfect_segments_always_succeed() {
         let (code, part) = code_and_partition();
         let outcome = ExecutionOutcome {
@@ -156,13 +317,7 @@ mod tests {
             segments: vec![segment(1.0, 1.0, 0.0), segment(1.0, 1.0, 0.0)],
         };
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(evaluate_transfer(
-            &code,
-            &part,
-            &outcome,
-            DecoderKind::SurfNet,
-            &mut rng
-        ));
+        assert!(evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng).unwrap());
     }
 
     #[test]
@@ -174,13 +329,9 @@ mod tests {
             segments: Vec::new(),
         };
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(!evaluate_transfer(
-            &code,
-            &part,
-            &outcome,
-            DecoderKind::SurfNet,
-            &mut rng
-        ));
+        assert!(
+            !evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng).unwrap()
+        );
     }
 
     #[test]
@@ -193,7 +344,9 @@ mod tests {
         };
         let mut rng = SmallRng::seed_from_u64(2);
         let successes = (0..200)
-            .filter(|_| evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng))
+            .filter(|_| {
+                evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng).unwrap()
+            })
             .count();
         assert!(successes > 20, "successes {successes}");
         assert!(successes < 200, "successes {successes}");
@@ -208,7 +361,77 @@ mod tests {
             segments: vec![segment(0.98, 0.95, 0.02)],
         };
         let mut rng = SmallRng::seed_from_u64(3);
-        let _ = evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng);
-        let _ = evaluate_transfer(&code, &part, &outcome, DecoderKind::UnionFind, &mut rng);
+        let _ = evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng).unwrap();
+        let _ =
+            evaluate_transfer(&code, &part, &outcome, DecoderKind::UnionFind, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn cache_reuses_decoders_across_identical_segments() {
+        let (code, part) = code_and_partition();
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 9,
+            segments: vec![
+                segment(0.98, 0.95, 0.02),
+                segment(0.98, 0.95, 0.02),
+                segment(0.97, 0.94, 0.03),
+            ],
+        };
+        let mut cache = DecoderCache::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        cache
+            .evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng)
+            .unwrap();
+        // Two distinct signatures → two constructed decoders, not three.
+        assert_eq!(cache.len(), 2);
+        cache
+            .evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_path_matches_fresh_construction_bit_for_bit() {
+        // The tentpole's equivalence guarantee: a shared cache + workspace
+        // must consume the rng identically and return the same verdicts
+        // as per-shot construction, for both decoder kinds.
+        let (code, part) = code_and_partition();
+        let outcomes: Vec<ExecutionOutcome> = (0..4)
+            .map(|i| ExecutionOutcome {
+                completed: true,
+                latency: 6,
+                segments: vec![
+                    segment(0.93, 0.85, 0.12),
+                    segment(0.93, 0.85, 0.12),
+                    segment(0.96, 0.88, 0.05 + 0.01 * i as f64),
+                ],
+            })
+            .collect();
+        for kind in [DecoderKind::SurfNet, DecoderKind::UnionFind] {
+            for seed in [11u64, 12, 13] {
+                let fresh: Vec<bool> = {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    outcomes
+                        .iter()
+                        .map(|o| evaluate_transfer(&code, &part, o, kind, &mut rng).unwrap())
+                        .collect()
+                };
+                let cached: Vec<bool> = {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut cache = DecoderCache::new();
+                    outcomes
+                        .iter()
+                        .map(|o| {
+                            cache
+                                .evaluate_transfer(&code, &part, o, kind, &mut rng)
+                                .unwrap()
+                        })
+                        .collect()
+                };
+                assert_eq!(fresh, cached, "kind {kind:?} seed {seed}");
+            }
+        }
     }
 }

@@ -3,7 +3,6 @@
 //! fidelity detail (a.2).
 
 use crate::experiments::runner::parallel_trials;
-use crate::metrics::MetricsSummary;
 use crate::pipeline::Design;
 use crate::report;
 use crate::scenario::{ConnectionQuality, FacilityLevel, Scenario, TrialConfig};
@@ -48,10 +47,10 @@ pub fn run(trials: usize, base_seed: u64) -> Fig6a {
             quality: ConnectionQuality::Good,
         };
         for design in [Design::Raw, Design::SurfNet] {
-            let metrics = parallel_trials(design, &cfg, trials, base_seed);
-            let summary = MetricsSummary::from_trials(&metrics);
+            let batch = parallel_trials(design, &cfg, trials, base_seed);
+            let summary = batch.summary();
             let mut fidelity_histogram = [0usize; 10];
-            for m in &metrics {
+            for m in &batch.metrics {
                 let bucket = ((m.fidelity * 10.0) as usize).min(9);
                 fidelity_histogram[bucket] += 1;
             }

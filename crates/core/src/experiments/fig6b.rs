@@ -3,7 +3,6 @@
 //! and the routing fidelity threshold `1/2^{W_c}`.
 
 use crate::experiments::runner::parallel_trials;
-use crate::metrics::MetricsSummary;
 use crate::pipeline::Design;
 use crate::report;
 use crate::scenario::TrialConfig;
@@ -104,8 +103,7 @@ pub fn run_grid(param: SweepParam, grid: &[f64], trials: usize, base_seed: u64) 
         .iter()
         .map(|&x| {
             let cfg = config_for(param, x);
-            let metrics = parallel_trials(Design::SurfNet, &cfg, trials, base_seed);
-            let summary = MetricsSummary::from_trials(&metrics);
+            let summary = parallel_trials(Design::SurfNet, &cfg, trials, base_seed).summary();
             SweepPoint {
                 x,
                 fidelity: summary.fidelity,

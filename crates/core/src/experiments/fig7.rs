@@ -3,7 +3,6 @@
 //! (abundant/limited facilities × good/poor connections).
 
 use crate::experiments::runner::parallel_trials;
-use crate::metrics::MetricsSummary;
 use crate::pipeline::Design;
 use crate::report;
 use crate::scenario::{ConnectionQuality, FacilityLevel, Scenario, TrialConfig};
@@ -26,6 +25,8 @@ pub struct Cell {
     pub latency_p95: f64,
     /// 99th percentile of per-trial mean latencies (ticks).
     pub latency_p99: f64,
+    /// Trials that errored and were excluded from the means.
+    pub failed_trials: usize,
 }
 
 /// Result bundle.
@@ -66,8 +67,8 @@ pub fn run(trials: usize, base_seed: u64) -> Fig7 {
         let mut cfg = TrialConfig::default();
         cfg.scenario = scenario;
         for design in Design::FIG7 {
-            let metrics = parallel_trials(design, &cfg, trials, base_seed);
-            let summary = MetricsSummary::from_trials(&metrics);
+            let batch = parallel_trials(design, &cfg, trials, base_seed);
+            let summary = batch.summary();
             cells.push(Cell {
                 scenario: scenario.label(),
                 design: design.label(),
@@ -76,6 +77,7 @@ pub fn run(trials: usize, base_seed: u64) -> Fig7 {
                 latency_p50: summary.latency_p50,
                 latency_p95: summary.latency_p95,
                 latency_p99: summary.latency_p99,
+                failed_trials: summary.failed_trials,
             });
         }
     }
@@ -96,6 +98,7 @@ pub fn render(result: &Fig7) -> String {
                 report::f3(c.latency_p50),
                 report::f3(c.latency_p95),
                 report::f3(c.latency_p99),
+                c.failed_trials.to_string(),
             ]
         })
         .collect();
@@ -111,6 +114,7 @@ pub fn render(result: &Fig7) -> String {
                 "lat_p50",
                 "lat_p95",
                 "lat_p99",
+                "failed",
             ],
             &rows
         )

@@ -4,10 +4,11 @@
 //! trials) don't serialize the sweep; results are deterministic per seed
 //! regardless of scheduling order.
 
-use crate::metrics::TrialMetrics;
+use crate::metrics::{MetricsSummary, TrialMetrics};
 use crate::pipeline::{run_trial, Design};
 use crate::scenario::TrialConfig;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads: all cores minus one, at least one.
 pub fn default_workers() -> usize {
@@ -16,31 +17,63 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// The outcome of a parallel sweep: the metrics of every trial that ran
+/// to completion, plus an explicit tally of the trials that errored.
+///
+/// Failed trials used to be folded in as all-zero [`TrialMetrics`], which
+/// silently dragged every figure average toward zero; they are now
+/// excluded from the metrics and counted here instead.
+#[derive(Debug, Clone, Default)]
+pub struct TrialBatch {
+    /// Per-trial metrics of the successful trials, sorted by seed.
+    pub metrics: Vec<TrialMetrics>,
+    /// Number of trials whose pipeline returned an error.
+    pub failures: usize,
+}
+
+impl TrialBatch {
+    /// Summarizes the successful trials, carrying the failure tally.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            failed_trials: self.failures,
+            ..MetricsSummary::from_trials(&self.metrics)
+        }
+    }
+}
+
 /// Runs `trials` seeded trials of `design` in parallel and returns the
-/// metrics sorted by seed (deterministic output).
+/// successful trials' metrics sorted by seed (deterministic output) plus
+/// the failed-trial count.
 pub fn parallel_trials(
     design: Design,
     cfg: &TrialConfig,
     trials: usize,
     base_seed: u64,
-) -> Vec<TrialMetrics> {
+) -> TrialBatch {
     let (tx, rx) = crossbeam::channel::unbounded::<u64>();
     for i in 0..trials {
         tx.send(base_seed + i as u64).expect("channel open");
     }
     drop(tx);
     let results: Mutex<Vec<(u64, TrialMetrics)>> = Mutex::new(Vec::with_capacity(trials));
+    let failures = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..default_workers() {
             let rx = rx.clone();
             let results = &results;
+            let failures = &failures;
             scope.spawn(move || {
                 while let Ok(seed) = rx.recv() {
                     // A failed trial (e.g. an unluckily degenerate LP) is
-                    // recorded as zero metrics rather than aborting the
-                    // whole sweep.
-                    let metrics = run_trial(design, cfg, seed).unwrap_or_default();
-                    results.lock().push((seed, metrics));
+                    // counted rather than aborting the whole sweep — and
+                    // rather than polluting the averages with zeros.
+                    match run_trial(design, cfg, seed) {
+                        Ok(metrics) => results.lock().push((seed, metrics)),
+                        Err(_) => {
+                            surfnet_telemetry::count!("runner.trial_failures");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
                 // Scope join does not wait for TLS destructors, so drain
                 // the journal ring explicitly before the closure returns —
@@ -52,7 +85,10 @@ pub fn parallel_trials(
     });
     let mut collected = results.into_inner();
     collected.sort_by_key(|&(seed, _)| seed);
-    collected.into_iter().map(|(_, m)| m).collect()
+    TrialBatch {
+        metrics: collected.into_iter().map(|(_, m)| m).collect(),
+        failures: failures.into_inner(),
+    }
 }
 
 /// Generic parallel map over an input grid (used by the decoder-threshold
@@ -100,11 +136,16 @@ mod tests {
         let cfg = TrialConfig::default();
         let a = parallel_trials(Design::Raw, &cfg, 4, 500);
         let b = parallel_trials(Design::Raw, &cfg, 4, 500);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 4);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.len(), 4);
+        assert_eq!(a.failures, 0);
         // Spot-check against the serial path.
         let serial = crate::pipeline::run_trial(Design::Raw, &cfg, 502).unwrap();
-        assert_eq!(a[2], serial);
+        assert_eq!(a.metrics[2], serial);
+        // And the batch summary carries the failure tally through.
+        let summary = a.summary();
+        assert_eq!(summary.trials, 4);
+        assert_eq!(summary.failed_trials, 0);
     }
 
     #[test]
@@ -125,7 +166,7 @@ mod tests {
         let snapshot = surfnet_telemetry::snapshot();
         surfnet_telemetry::Telemetry::disabled();
         surfnet_telemetry::reset();
-        assert_eq!(baseline, instrumented);
+        assert_eq!(baseline.metrics, instrumented.metrics);
         // And the instrumented run actually recorded decoder activity.
         assert!(snapshot.counter("decoder.growth_rounds").is_some());
     }

@@ -38,6 +38,11 @@ pub struct MetricsSummary {
     pub throughput: f64,
     /// Trials aggregated.
     pub trials: usize,
+    /// Trials that errored and were excluded from every mean above
+    /// (set by [`crate::experiments::runner::TrialBatch::summary`];
+    /// [`Self::from_trials`] itself has no failure information and
+    /// leaves it zero).
+    pub failed_trials: usize,
 }
 
 /// Percentile over a sorted, non-empty sample by linear interpolation
@@ -78,6 +83,7 @@ impl MetricsSummary {
             latency_p99: percentile(&latencies, 0.99),
             throughput: trials.iter().map(|t| t.throughput).sum::<f64>() / n,
             trials: trials.len(),
+            failed_trials: 0,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! schedule under a network design, execute online, and score fidelity by
 //! sampling and decoding the transferred surface codes.
 
-use crate::evaluate::{evaluate_transfer, DecoderKind};
+use crate::evaluate::{DecoderCache, DecoderKind};
 use crate::flight;
 use crate::metrics::TrialMetrics;
 use crate::scenario::TrialConfig;
@@ -195,6 +195,10 @@ pub fn run_trial_on<R: Rng + ?Sized>(
                 }
             };
             let _span = surfnet_telemetry::span!("pipeline.evaluate");
+            // One decoder cache + workspace for the whole trial: identical
+            // segment signatures reuse one constructed decoder, every shot
+            // reuses the same scratch buffers.
+            let mut cache = DecoderCache::new();
             let mut executed = 0u32;
             let mut successes = 0u32;
             let mut latency_sum = 0u64;
@@ -204,7 +208,7 @@ pub fn run_trial_on<R: Rng + ?Sized>(
                 }
                 executed += 1;
                 latency_sum += outcome.latency;
-                if evaluate_transfer(&code, &partition, outcome, DecoderKind::SurfNet, rng) {
+                if cache.evaluate_transfer(&code, &partition, outcome, DecoderKind::SurfNet, rng)? {
                     successes += 1;
                 }
             }

@@ -66,21 +66,43 @@ pub fn min_weight_perfect_matching(
     num_vertices: usize,
     edges: &[WeightedEdge],
 ) -> Result<Vec<usize>, MatchingError> {
+    let mut neg = Vec::new();
+    let mut out = Vec::new();
+    min_weight_perfect_matching_into(num_vertices, edges, &mut neg, &mut out)?;
+    Ok(out)
+}
+
+/// Buffer-reusing variant of [`min_weight_perfect_matching`]: the negated
+/// edge list is built in `neg` and the matching written into `out` (both
+/// cleared first), so repeated decodes amortize those two allocations.
+///
+/// # Errors
+///
+/// Returns `Err(MatchingError::NoPerfectMatching)` if the graph admits no
+/// perfect matching.
+pub fn min_weight_perfect_matching_into(
+    num_vertices: usize,
+    edges: &[WeightedEdge],
+    neg: &mut Vec<WeightedEdge>,
+    out: &mut Vec<usize>,
+) -> Result<(), MatchingError> {
     if !num_vertices.is_multiple_of(2) {
         return Err(MatchingError::NoPerfectMatching);
     }
     // Negate weights: a max-weight max-cardinality matching of the negated
     // graph is a min-weight perfect matching when one exists.
-    let neg: Vec<WeightedEdge> = edges.iter().map(|&(u, v, w)| (u, v, -w)).collect();
-    let mate = Matcher::with_vertices(num_vertices, &neg, true).run();
-    let mut out = vec![0usize; num_vertices];
+    neg.clear();
+    neg.extend(edges.iter().map(|&(u, v, w)| (u, v, -w)));
+    let mate = Matcher::with_vertices(num_vertices, neg, true).run();
+    out.clear();
+    out.resize(num_vertices, 0);
     for v in 0..num_vertices {
         match mate.get(v).copied().flatten() {
             Some(u) => out[v] = u,
             None => return Err(MatchingError::NoPerfectMatching),
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Errors from matching computations.

@@ -54,6 +54,64 @@ pub struct GrownClusters {
     pub rounds: usize,
 }
 
+/// Reusable buffers for [`grow_clusters_into`]: one allocation on first
+/// use, then reused across decodes (every vector is cleared and resized in
+/// place, and the per-vertex member lists keep their capacity across
+/// fusions).
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    uf: UnionFind,
+    is_defect: Vec<bool>,
+    parity: Vec<usize>,
+    touches_boundary: Vec<bool>,
+    members: Vec<Vec<usize>>,
+    growth: Vec<f64>,
+    grown: Vec<bool>,
+    roots: Vec<usize>,
+    frontier: Vec<usize>,
+    newly_grown: Vec<usize>,
+}
+
+impl ClusterScratch {
+    /// The grown edge set left behind by the last [`grow_clusters_into`]
+    /// call (one flag per edge of that graph).
+    pub fn grown(&self) -> &[bool] {
+        &self.grown
+    }
+}
+
+/// Merges endpoints of a fully grown edge, folding bookkeeping.
+fn fuse(
+    uf: &mut UnionFind,
+    parity: &mut [usize],
+    touches_boundary: &mut [bool],
+    members: &mut [Vec<usize>],
+    a: usize,
+    b: usize,
+) {
+    let ra = uf.find(a);
+    let rb = uf.find(b);
+    if ra == rb {
+        return;
+    }
+    let Some(root) = uf.union(ra, rb) else {
+        // Unreachable: ra != rb was just checked, so the union merges.
+        return;
+    };
+    let other = if root == ra { rb } else { ra };
+    parity[root] = (parity[ra] + parity[rb]) % 2;
+    touches_boundary[root] = touches_boundary[ra] || touches_boundary[rb];
+    // Move the absorbed cluster's members across without dropping either
+    // buffer (both keep their capacity for the next decode).
+    let (low, high) = members.split_at_mut(root.max(other));
+    let (root_vec, other_vec) = if root < other {
+        (&mut low[root], &mut high[0])
+    } else {
+        (&mut high[0], &mut low[other])
+    };
+    root_vec.append(other_vec);
+}
+
 /// Grows clusters around `defects` until every cluster is even or touches
 /// the boundary.
 ///
@@ -72,92 +130,109 @@ pub fn grow_clusters(
     defects: &[usize],
     config: &GrowthConfig,
 ) -> Result<GrownClusters, DecoderError> {
-    assert_eq!(config.speeds.len(), graph.num_edges());
-    assert_eq!(config.pregrown.len(), graph.num_edges());
+    let mut scratch = ClusterScratch::default();
+    let rounds = grow_clusters_into(
+        graph,
+        defects,
+        &config.speeds,
+        &config.pregrown,
+        &mut scratch,
+    )?;
+    Ok(GrownClusters {
+        grown: scratch.grown,
+        rounds,
+    })
+}
+
+/// Allocation-free variant of [`grow_clusters`]: runs the identical growth
+/// algorithm inside `scratch`, leaving the grown edge set in
+/// [`ClusterScratch::grown`] and returning the round count.
+///
+/// # Errors
+///
+/// Returns [`DecoderError::UnpairableSyndromes`] when an odd number of
+/// defects exists in a graph with no boundary edges.
+///
+/// # Panics
+///
+/// Panics if `speeds`/`pregrown` don't have one entry per edge, or a
+/// defect index is out of range.
+pub fn grow_clusters_into(
+    graph: &DecodingGraph,
+    defects: &[usize],
+    speeds: &[f64],
+    pregrown: &[bool],
+    scratch: &mut ClusterScratch,
+) -> Result<usize, DecoderError> {
+    assert_eq!(speeds.len(), graph.num_edges());
+    assert_eq!(pregrown.len(), graph.num_edges());
     let nv = graph.num_vertices();
+    let ne = graph.num_edges();
     let boundary = graph.boundary();
 
     if defects.len() % 2 == 1 && !graph.has_boundary_edges() {
         return Err(DecoderError::UnpairableSyndromes);
     }
 
-    let mut uf = UnionFind::new(nv);
-    let mut is_defect = vec![false; nv];
+    let ClusterScratch {
+        uf,
+        is_defect,
+        parity,
+        touches_boundary,
+        members,
+        growth,
+        grown,
+        roots,
+        frontier,
+        newly_grown,
+    } = scratch;
+
+    uf.reset(nv);
+    is_defect.clear();
+    is_defect.resize(nv, false);
     for &d in defects {
         assert!(d < nv, "defect vertex {d} out of range");
         is_defect[d] = true;
     }
     // Per-root bookkeeping, kept valid for *current* roots only.
-    let mut parity = vec![0usize; nv];
-    let mut touches_boundary = vec![false; nv];
-    let mut members: Vec<Vec<usize>> = (0..nv).map(|v| vec![v]).collect();
+    parity.clear();
+    parity.resize(nv, 0);
+    touches_boundary.clear();
+    touches_boundary.resize(nv, false);
+    if members.len() < nv {
+        members.resize_with(nv, Vec::new);
+    }
+    for (v, m) in members.iter_mut().enumerate().take(nv) {
+        m.clear();
+        m.push(v);
+    }
     for &d in defects {
         parity[d] = 1;
     }
     touches_boundary[boundary] = true;
 
-    let mut growth = vec![0.0f64; graph.num_edges()];
-    let mut grown = vec![false; graph.num_edges()];
+    growth.clear();
+    growth.resize(ne, 0.0);
+    grown.clear();
+    grown.resize(ne, false);
 
-    // Merges endpoints of a fully grown edge, folding bookkeeping.
-    fn fuse(
-        uf: &mut UnionFind,
-        parity: &mut [usize],
-        touches_boundary: &mut [bool],
-        members: &mut [Vec<usize>],
-        a: usize,
-        b: usize,
-    ) {
-        let ra = uf.find(a);
-        let rb = uf.find(b);
-        if ra == rb {
-            return;
-        }
-        let Some(root) = uf.union(ra, rb) else {
-            // Unreachable: ra != rb was just checked, so the union merges.
-            return;
-        };
-        let other = if root == ra { rb } else { ra };
-        parity[root] = (parity[ra] + parity[rb]) % 2;
-        touches_boundary[root] = touches_boundary[ra] || touches_boundary[rb];
-        let mut moved = std::mem::take(&mut members[other]);
-        members[root].append(&mut moved);
-    }
-
-    for e in 0..graph.num_edges() {
-        if config.pregrown[e] {
+    for e in 0..ne {
+        if pregrown[e] {
             grown[e] = true;
             growth[e] = 1.0;
             let edge = graph.edge(e);
-            fuse(
-                &mut uf,
-                &mut parity,
-                &mut touches_boundary,
-                &mut members,
-                edge.a,
-                edge.b,
-            );
+            fuse(uf, parity, touches_boundary, members, edge.a, edge.b);
         }
     }
 
-    let odd_roots = |uf: &mut UnionFind,
-                     parity: &[usize],
-                     touches_boundary: &[bool],
-                     defects: &[usize]|
-     -> Vec<usize> {
-        let mut roots: Vec<usize> = defects.iter().map(|&d| uf.find(d)).collect();
-        roots.sort_unstable();
-        roots.dedup();
-        roots
-            .into_iter()
-            .filter(|&r| parity[r] % 2 == 1 && !touches_boundary[r])
-            .collect()
-    };
-
     let mut rounds = 0usize;
     loop {
-        let active = odd_roots(&mut uf, &parity, &touches_boundary, defects);
-        if active.is_empty() {
+        roots.clear();
+        roots.extend(defects.iter().map(|&d| uf.find(d)));
+        roots.sort_unstable();
+        roots.dedup();
+        roots.retain(|&r| parity[r] % 2 == 1 && !touches_boundary[r]);
+        if roots.is_empty() {
             break;
         }
         rounds += 1;
@@ -165,13 +240,13 @@ pub fn grow_clusters(
         // least one ungrown frontier edge, so the round count is bounded by
         // total capacity over the minimum speed. A generous cap guards
         // against degenerate configurations (e.g. zero speeds).
-        if rounds > 64 * graph.num_edges() + 64 {
+        if rounds > 64 * ne + 64 {
             return Err(DecoderError::GrowthStalled);
         }
 
         // Accumulate this round's growth for every odd cluster, then fuse.
-        let mut newly_grown: Vec<usize> = Vec::new();
-        for &root in &active {
+        for i in 0..roots.len() {
+            let root = roots[i];
             // `root` may have been fused earlier in this same round; skip
             // stale roots (their members grew under the new root already).
             if uf.find(root) != root
@@ -180,7 +255,7 @@ pub fn grow_clusters(
             {
                 continue;
             }
-            let mut frontier: Vec<usize> = Vec::new();
+            frontier.clear();
             for &v in &members[root] {
                 for &e in graph.incident(v) {
                     if !grown[e] {
@@ -190,11 +265,11 @@ pub fn grow_clusters(
             }
             frontier.sort_unstable();
             frontier.dedup();
-            for e in frontier {
+            for &e in frontier.iter() {
                 // An edge interior to the cluster (both endpoints inside)
                 // would be enumerated twice via its two endpoints; dedup
                 // above makes the growth increment once per cluster.
-                growth[e] += config.speeds[e].max(0.0);
+                growth[e] += speeds[e].max(0.0);
                 if growth[e] >= 1.0 && !grown[e] {
                     grown[e] = true;
                     newly_grown.push(e);
@@ -203,16 +278,9 @@ pub fn grow_clusters(
             // Fuse as soon as this cluster finished its round so that
             // "if Ci meets another cluster, fuse together" (Alg. 2 line 7)
             // is honored before the next cluster grows.
-            for &e in &newly_grown {
-                let edge = graph.edge(e);
-                fuse(
-                    &mut uf,
-                    &mut parity,
-                    &mut touches_boundary,
-                    &mut members,
-                    edge.a,
-                    edge.b,
-                );
+            for j in 0..newly_grown.len() {
+                let edge = graph.edge(newly_grown[j]);
+                fuse(uf, parity, touches_boundary, members, edge.a, edge.b);
             }
             newly_grown.clear();
         }
@@ -222,21 +290,21 @@ pub fn grow_clusters(
         if crate::check::enabled() {
             crate::check::assert_ok(
                 crate::check::check_cluster_invariants(
-                    &mut uf,
-                    &parity,
-                    &touches_boundary,
-                    &members,
-                    &is_defect,
+                    uf,
+                    parity,
+                    touches_boundary,
+                    &members[..nv],
+                    is_defect,
                     boundary,
                     graph,
-                    &grown,
+                    grown,
                 ),
                 "cluster growth round",
             );
         }
     }
 
-    Ok(GrownClusters { grown, rounds })
+    Ok(rounds)
 }
 
 #[cfg(test)]

@@ -7,11 +7,12 @@
 //! graph (measure-X syndromes). A data qubit corrected in both becomes a Y
 //! correction.
 
-use crate::cluster::{grow_clusters, GrowthConfig};
+use crate::cluster::{grow_clusters_into, ClusterScratch};
 use crate::graph::{DecodingGraph, GraphKind};
-use crate::mwpm::decode_graph_mwpm;
-use crate::peeling::peel;
+use crate::mwpm::decode_graph_mwpm_into;
+use crate::peeling::{peel_into, PeelScratch};
 use crate::weights::{growth_speed, DEFAULT_STEP_SIZE, ERASURE_FIDELITY};
+use crate::workspace::DecodeWorkspace;
 use crate::DecoderError;
 use surfnet_lattice::rotated::RotatedSurfaceCode;
 use surfnet_lattice::{
@@ -58,23 +59,40 @@ pub trait Decoder {
     }
 }
 
-/// Combines per-graph corrections into a Pauli string
+/// Combines per-graph corrections into a Pauli string in place
 /// (X from the primal graph, Z from the dual; overlaps become Y).
-fn assemble_correction(
+fn assemble_correction_into(
+    out: &mut PauliString,
     num_qubits: usize,
     primal_edges: &[usize],
     dual_edges: &[usize],
     primal: &DecodingGraph,
     dual: &DecodingGraph,
-) -> PauliString {
-    let mut correction = PauliString::identity(num_qubits);
+) {
+    out.reset_identity(num_qubits);
     for &e in primal_edges {
-        correction.apply(primal.edge(e).qubit, Pauli::X);
+        out.apply(primal.edge(e).qubit, Pauli::X);
     }
     for &e in dual_edges {
-        correction.apply(dual.edge(e).qubit, Pauli::Z);
+        out.apply(dual.edge(e).qubit, Pauli::Z);
     }
-    correction
+}
+
+/// Cluster-growth + peeling decode of one graph, entirely inside caller
+/// buffers (shared by the Union-Find and SurfNet decoders, which differ
+/// only in the growth speeds they put in `speeds`).
+fn grow_and_peel(
+    graph: &DecodingGraph,
+    defects: &[usize],
+    speeds: &[f64],
+    erased: &[bool],
+    cluster: &mut ClusterScratch,
+    peel: &mut PeelScratch,
+    out: &mut Vec<usize>,
+) -> Result<(), DecoderError> {
+    let rounds = grow_clusters_into(graph, defects, speeds, erased, cluster)?;
+    surfnet_telemetry::count!("decoder.growth_rounds", rounds as u64);
+    peel_into(graph, cluster.grown(), defects, peel, out)
 }
 
 /// The modified minimum-weight perfect matching decoder (Algorithm 1).
@@ -133,16 +151,70 @@ impl MwpmDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
+        let mut ws = DecodeWorkspace::new();
+        self.correction_for_with(syndrome, erased, &mut ws)?;
+        Ok(ws.correction)
+    }
+
+    /// [`Self::correction_for`] running entirely inside `ws` — no per-shot
+    /// allocations, bit-identical corrections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecoderError`] when syndromes cannot be paired.
+    pub fn correction_for_with<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
         let _span = surfnet_telemetry::span!("decoder.mwpm.decode");
-        let x_fix = decode_graph_mwpm(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
-        let z_fix = decode_graph_mwpm(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
-        Ok(assemble_correction(
+        let DecodeWorkspace {
+            mwpm,
+            defects,
+            x_fix,
+            z_fix,
+            correction,
+            ..
+        } = ws;
+        syndrome_defects_into(&syndrome.z_flips, defects);
+        decode_graph_mwpm_into(&self.primal, defects, erased, mwpm, x_fix)?;
+        syndrome_defects_into(&syndrome.x_flips, defects);
+        decode_graph_mwpm_into(&self.dual, defects, erased, mwpm, z_fix)?;
+        assemble_correction_into(
+            correction,
             self.num_qubits,
-            &x_fix,
-            &z_fix,
+            x_fix,
+            z_fix,
             &self.primal,
             &self.dual,
-        ))
+        );
+        Ok(correction)
+    }
+
+    /// [`Decoder::decode_sample`] running entirely inside `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if decoding fails (same contract as
+    /// [`Decoder::decode_sample`]).
+    pub fn decode_sample_with(
+        &self,
+        code: &SurfaceCode,
+        sample: &ErrorSample,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeOutcome {
+        let mut syndrome = std::mem::take(&mut ws.syndrome);
+        code.extract_syndrome_into(&sample.pauli, &mut syndrome);
+        let outcome = {
+            let correction = self
+                .correction_for_with(&syndrome, &sample.erased, ws)
+                // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample
+                .expect("decoding a well-formed surface code sample cannot fail");
+            code.score_correction(&sample.pauli, correction)
+        };
+        ws.syndrome = syndrome;
+        outcome
     }
 }
 
@@ -203,29 +275,78 @@ impl UnionFindDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
-        let _span = surfnet_telemetry::span!("decoder.union_find.decode");
-        let x_fix =
-            self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
-        let z_fix = self.decode_graph(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
-        Ok(assemble_correction(
-            self.num_qubits,
-            &x_fix,
-            &z_fix,
-            &self.primal,
-            &self.dual,
-        ))
+        let mut ws = DecodeWorkspace::new();
+        self.correction_for_with(syndrome, erased, &mut ws)?;
+        Ok(ws.correction)
     }
 
-    fn decode_graph(
+    /// [`Self::correction_for`] running entirely inside `ws` — no per-shot
+    /// allocations, bit-identical corrections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecoderError`] when syndromes cannot be paired.
+    pub fn correction_for_with<'ws>(
         &self,
-        graph: &DecodingGraph,
-        defects: &[usize],
+        syndrome: &Syndrome,
         erased: &[bool],
-    ) -> Result<Vec<usize>, DecoderError> {
-        let config = GrowthConfig::uniform(graph.num_edges(), erased.to_vec());
-        let grown = grow_clusters(graph, defects, &config)?;
-        surfnet_telemetry::count!("decoder.growth_rounds", grown.rounds as u64);
-        peel(graph, &grown.grown, defects)
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
+        let _span = surfnet_telemetry::span!("decoder.union_find.decode");
+        let DecodeWorkspace {
+            cluster,
+            peel,
+            defects,
+            speeds,
+            x_fix,
+            z_fix,
+            correction,
+            ..
+        } = ws;
+        // Uniform half-edge growth on both graphs (Delfosse–Nickerson);
+        // erased edges pre-seed the clusters.
+        syndrome_defects_into(&syndrome.z_flips, defects);
+        speeds.clear();
+        speeds.resize(self.primal.num_edges(), 0.5);
+        grow_and_peel(&self.primal, defects, speeds, erased, cluster, peel, x_fix)?;
+        syndrome_defects_into(&syndrome.x_flips, defects);
+        speeds.clear();
+        speeds.resize(self.dual.num_edges(), 0.5);
+        grow_and_peel(&self.dual, defects, speeds, erased, cluster, peel, z_fix)?;
+        assemble_correction_into(
+            correction,
+            self.num_qubits,
+            x_fix,
+            z_fix,
+            &self.primal,
+            &self.dual,
+        );
+        Ok(correction)
+    }
+
+    /// [`Decoder::decode_sample`] running entirely inside `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if decoding fails (same contract as
+    /// [`Decoder::decode_sample`]).
+    pub fn decode_sample_with(
+        &self,
+        code: &SurfaceCode,
+        sample: &ErrorSample,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeOutcome {
+        let mut syndrome = std::mem::take(&mut ws.syndrome);
+        code.extract_syndrome_into(&sample.pauli, &mut syndrome);
+        let outcome = {
+            let correction = self
+                .correction_for_with(&syndrome, &sample.erased, ws)
+                // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample
+                .expect("decoding a well-formed surface code sample cannot fail");
+            code.score_correction(&sample.pauli, correction)
+        };
+        ws.syndrome = syndrome;
+        outcome
     }
 }
 
@@ -299,17 +420,74 @@ impl SurfNetDecoder {
         syndrome: &Syndrome,
         erased: &[bool],
     ) -> Result<PauliString, DecoderError> {
+        let mut ws = DecodeWorkspace::new();
+        self.correction_for_with(syndrome, erased, &mut ws)?;
+        Ok(ws.correction)
+    }
+
+    /// [`Self::correction_for`] running entirely inside `ws` — no per-shot
+    /// allocations, bit-identical corrections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecoderError`] when syndromes cannot be paired.
+    pub fn correction_for_with<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
         let _span = surfnet_telemetry::span!("decoder.surfnet.decode");
-        let x_fix =
-            self.decode_graph(&self.primal, &syndrome_defects(&syndrome.z_flips), erased)?;
-        let z_fix = self.decode_graph(&self.dual, &syndrome_defects(&syndrome.x_flips), erased)?;
-        Ok(assemble_correction(
+        let DecodeWorkspace {
+            cluster,
+            peel,
+            defects,
+            speeds,
+            x_fix,
+            z_fix,
+            correction,
+            ..
+        } = ws;
+        syndrome_defects_into(&syndrome.z_flips, defects);
+        self.fill_speeds(&self.primal, erased, speeds);
+        grow_and_peel(&self.primal, defects, speeds, erased, cluster, peel, x_fix)?;
+        syndrome_defects_into(&syndrome.x_flips, defects);
+        self.fill_speeds(&self.dual, erased, speeds);
+        grow_and_peel(&self.dual, defects, speeds, erased, cluster, peel, z_fix)?;
+        assemble_correction_into(
+            correction,
             self.num_qubits,
-            &x_fix,
-            &z_fix,
+            x_fix,
+            z_fix,
             &self.primal,
             &self.dual,
-        ))
+        );
+        Ok(correction)
+    }
+
+    /// [`Decoder::decode_sample`] running entirely inside `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if decoding fails (same contract as
+    /// [`Decoder::decode_sample`]).
+    pub fn decode_sample_with(
+        &self,
+        code: &SurfaceCode,
+        sample: &ErrorSample,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeOutcome {
+        let mut syndrome = std::mem::take(&mut ws.syndrome);
+        code.extract_syndrome_into(&sample.pauli, &mut syndrome);
+        let outcome = {
+            let correction = self
+                .correction_for_with(&syndrome, &sample.erased, ws)
+                // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample
+                .expect("decoding a well-formed surface code sample cannot fail");
+            code.score_correction(&sample.pauli, correction)
+        };
+        ws.syndrome = syndrome;
+        outcome
     }
 
     /// The configured step size `r`.
@@ -317,32 +495,22 @@ impl SurfNetDecoder {
         self.step
     }
 
-    fn decode_graph(
-        &self,
-        graph: &DecodingGraph,
-        defects: &[usize],
-        erased: &[bool],
-    ) -> Result<Vec<usize>, DecoderError> {
-        let speeds: Vec<f64> = (0..graph.num_edges())
-            .map(|e| {
-                let rho = if erased[e] {
-                    ERASURE_FIDELITY
-                } else {
-                    graph.edge(e).fidelity
-                };
-                growth_speed(rho, self.step)
-            })
-            .collect();
-        // Erased edges are known-useless qubits (maximally mixed states):
-        // like the Union-Find baseline, seed the clusters with them instead
-        // of merely growing them fast — otherwise high-fidelity edges
-        // accumulate spurious growth during the rounds spent crossing
-        // erasures, which measurably degrades the correction.
-        let pregrown: Vec<bool> = (0..graph.num_edges()).map(|e| erased[e]).collect();
-        let config = GrowthConfig { speeds, pregrown };
-        let grown = grow_clusters(graph, defects, &config)?;
-        surfnet_telemetry::count!("decoder.growth_rounds", grown.rounds as u64);
-        peel(graph, &grown.grown, defects)
+    /// Per-edge weighted growth speeds `−r / ln(1 − ρ)` (Algorithm 2).
+    /// Erased edges are known-useless qubits (maximally mixed states):
+    /// like the Union-Find baseline they pre-seed the clusters — via the
+    /// `pregrown = erased` flags passed to growth — instead of merely
+    /// growing fast, otherwise high-fidelity edges accumulate spurious
+    /// growth during the rounds spent crossing erasures.
+    fn fill_speeds(&self, graph: &DecodingGraph, erased: &[bool], speeds: &mut Vec<f64>) {
+        speeds.clear();
+        speeds.extend((0..graph.num_edges()).map(|e| {
+            let rho = if erased[e] {
+                ERASURE_FIDELITY
+            } else {
+                graph.edge(e).fidelity
+            };
+            growth_speed(rho, self.step)
+        }));
     }
 }
 
@@ -362,14 +530,10 @@ impl Decoder for SurfNetDecoder {
     }
 }
 
-/// Defect indices from a flip vector.
-fn syndrome_defects(flips: &[bool]) -> Vec<usize> {
-    flips
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f)
-        .map(|(i, _)| i)
-        .collect()
+/// Defect indices from a flip vector, written into a reused buffer.
+fn syndrome_defects_into(flips: &[bool], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(flips.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i));
 }
 
 #[cfg(test)]

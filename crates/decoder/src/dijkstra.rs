@@ -45,6 +45,14 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// Reusable buffers for [`ShortestPaths::recompute`]: the settled-vertex
+/// flags and the binary heap, cleared in place per run.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    done: Vec<bool>,
+    heap: BinaryHeap<HeapItem>,
+}
+
 impl ShortestPaths {
     /// Runs Dijkstra from `source` with per-sample erasure flags.
     ///
@@ -53,13 +61,50 @@ impl ShortestPaths {
     /// Panics if `source` is out of range or `erased` does not have one
     /// flag per edge.
     pub fn compute(graph: &DecodingGraph, source: usize, erased: &[bool]) -> ShortestPaths {
+        let mut sp = ShortestPaths::empty();
+        sp.recompute(graph, source, erased, &mut DijkstraScratch::default());
+        sp
+    }
+
+    /// An unused tree (no vertices); fill it with [`Self::recompute`].
+    pub fn empty() -> ShortestPaths {
+        ShortestPaths {
+            source: 0,
+            dist: Vec::new(),
+            via_edge: Vec::new(),
+        }
+    }
+
+    /// Re-runs Dijkstra in place, reusing this tree's vectors and the
+    /// caller's `scratch` buffers. Produces exactly the same tree as
+    /// [`Self::compute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `erased` does not have one
+    /// flag per edge.
+    pub fn recompute(
+        &mut self,
+        graph: &DecodingGraph,
+        source: usize,
+        erased: &[bool],
+        scratch: &mut DijkstraScratch,
+    ) {
         assert!(source < graph.num_vertices(), "source out of range");
         assert_eq!(erased.len(), graph.num_edges());
         let n = graph.num_vertices();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut via_edge = vec![NONE; n];
-        let mut done = vec![false; n];
-        let mut heap = BinaryHeap::new();
+        self.source = source;
+        let dist = &mut self.dist;
+        let via_edge = &mut self.via_edge;
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        via_edge.clear();
+        via_edge.resize(n, NONE);
+        let done = &mut scratch.done;
+        done.clear();
+        done.resize(n, false);
+        let heap = &mut scratch.heap;
+        heap.clear();
         dist[source] = 0.0;
         heap.push(HeapItem {
             dist: 0.0,
@@ -87,11 +132,6 @@ impl ShortestPaths {
             }
         }
         surfnet_telemetry::count!("decoder.dijkstra_relaxations", relaxations);
-        ShortestPaths {
-            source,
-            dist,
-            via_edge,
-        }
     }
 
     /// The source vertex.
@@ -120,6 +160,29 @@ impl ShortestPaths {
         }
         edges.reverse();
         Some(edges)
+    }
+
+    /// Calls `f` for every edge on the shortest path from the source to
+    /// `target` (target-to-source order); returns `false` when `target` is
+    /// unreachable. Allocation-free counterpart of [`Self::path_edges`] for
+    /// callers that only fold over the edge set.
+    pub fn for_each_path_edge(
+        &self,
+        graph: &DecodingGraph,
+        target: usize,
+        mut f: impl FnMut(usize),
+    ) -> bool {
+        if self.dist[target].is_infinite() {
+            return false;
+        }
+        let mut v = target;
+        while v != self.source {
+            let ei = self.via_edge[v];
+            debug_assert_ne!(ei, NONE);
+            f(ei);
+            v = graph.edge(ei).other(v);
+        }
+        true
     }
 }
 

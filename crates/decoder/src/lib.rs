@@ -60,10 +60,12 @@ pub mod mwpm;
 pub mod peeling;
 pub mod union_find;
 pub mod weights;
+pub mod workspace;
 
 pub use decoder::{Decoder, MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
 pub use graph::{DecodingGraph, GraphEdge, GraphKind};
 pub use union_find::UnionFind;
+pub use workspace::DecodeWorkspace;
 
 use std::error::Error;
 use std::fmt;

@@ -8,10 +8,23 @@
 //! algorithm then returns the minimum-weight perfect matching, and the
 //! correction is the symmetric difference of the matched paths.
 
-use crate::blossom::min_weight_perfect_matching;
-use crate::dijkstra::ShortestPaths;
+use crate::blossom::{min_weight_perfect_matching_into, WeightedEdge};
+use crate::dijkstra::{DijkstraScratch, ShortestPaths};
 use crate::graph::DecodingGraph;
 use crate::DecoderError;
+
+/// Reusable buffers for [`decode_graph_mwpm_into`]: the per-defect
+/// shortest-path trees, the path-graph edge list, blossom's negated-edge
+/// and matching vectors, and the correction parity flags.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    paths: Vec<ShortestPaths>,
+    edges: Vec<WeightedEdge>,
+    negated: Vec<WeightedEdge>,
+    mate: Vec<usize>,
+    edge_parity: Vec<bool>,
+    dijkstra: DijkstraScratch,
+}
 
 /// Decodes one graph by minimum-weight perfect matching.
 ///
@@ -33,25 +46,63 @@ pub fn decode_graph_mwpm(
     defects: &[usize],
     erased: &[bool],
 ) -> Result<Vec<usize>, DecoderError> {
+    let mut scratch = MatchScratch::default();
+    let mut correction = Vec::new();
+    decode_graph_mwpm_into(graph, defects, erased, &mut scratch, &mut correction)?;
+    Ok(correction)
+}
+
+/// Buffer-reusing variant of [`decode_graph_mwpm`]: the identical
+/// algorithm, with the correction written into `out` (cleared first).
+///
+/// # Errors
+///
+/// Returns [`DecoderError::UnpairableSyndromes`] when some syndrome can
+/// reach neither another syndrome nor the boundary.
+///
+/// # Panics
+///
+/// Panics if `erased` does not have one flag per edge or a defect index is
+/// out of range.
+pub fn decode_graph_mwpm_into(
+    graph: &DecodingGraph,
+    defects: &[usize],
+    erased: &[bool],
+    scratch: &mut MatchScratch,
+    out: &mut Vec<usize>,
+) -> Result<(), DecoderError> {
     assert_eq!(erased.len(), graph.num_edges());
+    out.clear();
     let q = defects.len();
     if q == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     for &d in defects {
         assert!(d < graph.num_vertices(), "defect vertex {d} out of range");
     }
     let boundary = graph.boundary();
 
-    // Shortest paths from every syndrome (Algorithm 1, lines 3-7).
-    let paths: Vec<ShortestPaths> = defects
-        .iter()
-        .map(|&d| ShortestPaths::compute(graph, d, erased))
-        .collect();
+    let MatchScratch {
+        paths,
+        edges,
+        negated,
+        mate,
+        edge_parity,
+        dijkstra,
+    } = scratch;
+
+    // Shortest paths from every syndrome (Algorithm 1, lines 3-7). The
+    // tree pool only ever grows; trees beyond `q` are stale and unused.
+    if paths.len() < q {
+        paths.resize_with(q, ShortestPaths::empty);
+    }
+    for (i, &d) in defects.iter().enumerate() {
+        paths[i].recompute(graph, d, erased, dijkstra);
+    }
 
     // Path graph G': nodes 0..q are syndromes, nodes q..2q their virtual
     // boundary twins.
-    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    edges.clear();
     for i in 0..q {
         for j in (i + 1)..q {
             let d = paths[i].dist(defects[j]);
@@ -67,55 +118,54 @@ pub fn decode_graph_mwpm(
         }
     }
 
-    let mate = min_weight_perfect_matching(2 * q, &edges)
+    min_weight_perfect_matching_into(2 * q, edges, negated, mate)
         .map_err(|_| DecoderError::UnpairableSyndromes)?;
 
     // SURFNET_CHECK: blossom must return a genuine perfect matching on the
     // path graph before we trust its pairs to build a correction.
     if crate::check::enabled() {
         crate::check::assert_ok(
-            crate::check::check_perfect_matching(2 * q, &edges, &mate),
+            crate::check::check_perfect_matching(2 * q, edges, mate),
             "mwpm matching",
         );
     }
 
     // Assemble the correction as the symmetric difference of matched paths
     // (a qubit crossed by two paths cancels out).
-    let mut edge_parity = vec![false; graph.num_edges()];
-    let mut flip_path = |edge_list: Vec<usize>| {
-        for e in edge_list {
-            edge_parity[e] = !edge_parity[e];
-        }
-    };
+    edge_parity.clear();
+    edge_parity.resize(graph.num_edges(), false);
     for i in 0..q {
         let m = mate[i];
-        if m == q + i {
-            let path = paths[i]
-                .path_edges(graph, boundary)
-                .ok_or(DecoderError::UnpairableSyndromes)?;
-            flip_path(path);
+        let target = if m == q + i {
+            boundary
         } else if m < q && m > i {
-            let path = paths[i]
-                .path_edges(graph, defects[m])
-                .ok_or(DecoderError::UnpairableSyndromes)?;
-            flip_path(path);
+            defects[m]
+        } else {
+            continue;
+        };
+        let reached = paths[i].for_each_path_edge(graph, target, |e| {
+            edge_parity[e] = !edge_parity[e];
+        });
+        if !reached {
+            return Err(DecoderError::UnpairableSyndromes);
         }
     }
-    let correction: Vec<usize> = edge_parity
-        .iter()
-        .enumerate()
-        .filter(|(_, &on)| on)
-        .map(|(e, _)| e)
-        .collect();
+    out.extend(
+        edge_parity
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(e, _)| e),
+    );
 
     // SURFNET_CHECK: the assembled correction must annihilate the syndrome.
     if crate::check::enabled() {
         crate::check::assert_ok(
-            crate::check::check_correction_annihilates(graph, &correction, defects),
+            crate::check::check_correction_annihilates(graph, out, defects),
             "mwpm correction",
         );
     }
-    Ok(correction)
+    Ok(())
 }
 
 #[cfg(test)]

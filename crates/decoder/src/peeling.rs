@@ -9,6 +9,18 @@
 
 use crate::graph::DecodingGraph;
 use crate::DecoderError;
+use std::collections::VecDeque;
+
+/// Reusable buffers for [`peel_into`]: allocated once, cleared and resized
+/// in place on every decode.
+#[derive(Debug, Default)]
+pub struct PeelScratch {
+    defect: Vec<bool>,
+    visited: Vec<bool>,
+    parent_edge: Vec<usize>,
+    order: Vec<usize>,
+    queue: VecDeque<usize>,
+}
 
 /// Runs the peeling decoder over the `support` edge set.
 ///
@@ -29,21 +41,57 @@ pub fn peel(
     support: &[bool],
     defects: &[usize],
 ) -> Result<Vec<usize>, DecoderError> {
+    let mut scratch = PeelScratch::default();
+    let mut correction = Vec::new();
+    peel_into(graph, support, defects, &mut scratch, &mut correction)?;
+    Ok(correction)
+}
+
+/// Allocation-free variant of [`peel`]: runs the identical peeling pass
+/// inside `scratch`, writing the correction edge indices into `out`
+/// (cleared first).
+///
+/// # Errors
+///
+/// Returns [`DecoderError::UnpairableSyndromes`] if a connected component
+/// of the support holds an odd number of defects and no boundary vertex.
+///
+/// # Panics
+///
+/// Panics if `support` does not have one flag per edge or a defect index is
+/// out of range.
+pub fn peel_into(
+    graph: &DecodingGraph,
+    support: &[bool],
+    defects: &[usize],
+    scratch: &mut PeelScratch,
+    out: &mut Vec<usize>,
+) -> Result<(), DecoderError> {
     surfnet_telemetry::count!("decoder.peeling_passes");
     let _span = surfnet_telemetry::span!("decoder.peel");
     assert_eq!(support.len(), graph.num_edges());
     let nv = graph.num_vertices();
     let boundary = graph.boundary();
-    let mut defect = vec![false; nv];
+    let PeelScratch {
+        defect,
+        visited,
+        parent_edge,
+        order,
+        queue,
+    } = scratch;
+    defect.clear();
+    defect.resize(nv, false);
     for &d in defects {
         assert!(d < nv, "defect vertex {d} out of range");
         defect[d] = true;
     }
 
     const NONE: usize = usize::MAX;
-    let mut visited = vec![false; nv];
-    let mut parent_edge = vec![NONE; nv];
-    let mut order: Vec<usize> = Vec::new();
+    visited.clear();
+    visited.resize(nv, false);
+    parent_edge.clear();
+    parent_edge.resize(nv, NONE);
+    order.clear();
 
     // BFS over support edges. Start from the boundary so trees containing
     // it are rooted there (syndromes can then be flushed into the
@@ -51,12 +99,14 @@ pub fn peel(
     let bfs = |start: usize,
                visited: &mut Vec<bool>,
                parent_edge: &mut Vec<usize>,
-               order: &mut Vec<usize>| {
+               order: &mut Vec<usize>,
+               queue: &mut VecDeque<usize>| {
         if visited[start] {
             return;
         }
         visited[start] = true;
-        let mut queue = std::collections::VecDeque::from([start]);
+        queue.clear();
+        queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
             for &e in graph.incident(v) {
@@ -73,14 +123,14 @@ pub fn peel(
         }
     };
 
-    bfs(boundary, &mut visited, &mut parent_edge, &mut order);
+    bfs(boundary, visited, parent_edge, order, queue);
     for v in 0..nv {
-        bfs(v, &mut visited, &mut parent_edge, &mut order);
+        bfs(v, visited, parent_edge, order, queue);
     }
 
     // Peel leaves inward: reverse BFS order guarantees children before
     // parents.
-    let mut correction = Vec::new();
+    out.clear();
     for &v in order.iter().rev() {
         let e = parent_edge[v];
         if e == NONE {
@@ -92,22 +142,22 @@ pub fn peel(
             continue;
         }
         if defect[v] {
-            correction.push(e);
+            out.push(e);
             defect[v] = false;
             let p = graph.edge(e).other(v);
             defect[p] = !defect[p];
         }
     }
-    correction.sort_unstable();
+    out.sort_unstable();
 
     // SURFNET_CHECK: peeling must leave zero residual syndrome.
     if crate::check::enabled() {
         crate::check::assert_ok(
-            crate::check::check_correction_annihilates(graph, &correction, defects),
+            crate::check::check_correction_annihilates(graph, out, defects),
             "peeling correction",
         );
     }
-    Ok(correction)
+    Ok(())
 }
 
 #[cfg(test)]

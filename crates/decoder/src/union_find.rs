@@ -5,7 +5,7 @@
 //! cluster fusion is a union, cluster lookup is a find.
 
 /// A disjoint-set forest over `0 .. len` elements.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<usize>,
     size: Vec<usize>,
@@ -18,6 +18,15 @@ impl UnionFind {
             parent: (0..len).collect(),
             size: vec![1; len],
         }
+    }
+
+    /// Resets to `len` singleton sets, reusing the existing allocations
+    /// (the decoder workspaces call this once per decoded graph).
+    pub fn reset(&mut self, len: usize) {
+        self.parent.clear();
+        self.parent.extend(0..len);
+        self.size.clear();
+        self.size.resize(len, 1);
     }
 
     /// Number of elements.
@@ -132,6 +141,22 @@ mod tests {
         }
         assert!(uf.connected(0, 9));
         assert_eq!(uf.set_size(5), 10);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset(6);
+        assert_eq!(uf.len(), 6);
+        for i in 0..6 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+        uf.reset(2);
+        assert_eq!(uf.len(), 2);
+        assert!(!uf.connected(0, 1));
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl fmt::Display for Pauli {
 /// fix.set(2, Pauli::X);
 /// assert!((&err * &fix).is_identity());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PauliString {
     ops: Vec<Pauli>,
 }
@@ -154,6 +154,14 @@ impl PauliString {
         PauliString {
             ops: vec![Pauli::I; len],
         }
+    }
+
+    /// Resets this string in place to the identity on `len` qubits,
+    /// reusing the existing allocation (decoder workspaces rebuild their
+    /// correction buffer this way every shot).
+    pub fn reset_identity(&mut self, len: usize) {
+        self.ops.clear();
+        self.ops.resize(len, Pauli::I);
     }
 
     /// Builds a string from an explicit list of single-qubit operators.

@@ -11,7 +11,7 @@ use crate::pauli::PauliString;
 use serde::{Deserialize, Serialize};
 
 /// The flipped measurement outcomes of one error-correction cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Syndrome {
     /// `z_flips[i]` is true when measure-Z qubit `i` deviates from the
     /// quiescent state (an X-type error nearby).
@@ -68,32 +68,41 @@ impl SurfaceCode {
     ///
     /// Panics if `error` does not have one operator per data qubit.
     pub fn extract_syndrome(&self, error: &PauliString) -> Syndrome {
+        let mut syndrome = Syndrome::default();
+        self.extract_syndrome_into(error, &mut syndrome);
+        syndrome
+    }
+
+    /// Extracts the syndrome into an existing [`Syndrome`], reusing its
+    /// flip vectors (the decoder hot loop calls this once per shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` does not have one operator per data qubit.
+    pub fn extract_syndrome_into(&self, error: &PauliString, out: &mut Syndrome) {
         assert_eq!(
             error.len(),
             self.num_data_qubits(),
             "error pattern length does not match code"
         );
-        let z_flips = (0..self.num_measure_z())
-            .map(|i| {
-                self.z_stabilizer(i)
-                    .iter()
-                    .filter(|&&q| error.get(q).has_x_component())
-                    .count()
-                    % 2
-                    == 1
-            })
-            .collect();
-        let x_flips = (0..self.num_measure_x())
-            .map(|i| {
-                self.x_stabilizer(i)
-                    .iter()
-                    .filter(|&&q| error.get(q).has_z_component())
-                    .count()
-                    % 2
-                    == 1
-            })
-            .collect();
-        Syndrome { z_flips, x_flips }
+        out.z_flips.clear();
+        out.z_flips.extend((0..self.num_measure_z()).map(|i| {
+            self.z_stabilizer(i)
+                .iter()
+                .filter(|&&q| error.get(q).has_x_component())
+                .count()
+                % 2
+                == 1
+        }));
+        out.x_flips.clear();
+        out.x_flips.extend((0..self.num_measure_x()).map(|i| {
+            self.x_stabilizer(i)
+                .iter()
+                .filter(|&&q| error.get(q).has_z_component())
+                .count()
+                % 2
+                == 1
+        }));
     }
 }
 

@@ -165,11 +165,13 @@ fn step_transfer(
         Some(route) => (core_segment_fidelity(net.path_fidelity(route)), 0.0),
         None => (support_fidelity, support_erasure_prob),
     };
+    // Clamp to valid probabilities at the boundary, mirroring the
+    // independent-execution path (see execution.rs).
     state.segments_done.push(SegmentOutcome {
-        core_fidelity,
-        support_fidelity,
-        support_erasure_prob,
-        core_erasure_prob,
+        core_fidelity: core_fidelity.clamp(0.0, 1.0),
+        support_fidelity: support_fidelity.clamp(0.0, 1.0),
+        support_erasure_prob: support_erasure_prob.clamp(0.0, 1.0),
+        core_erasure_prob: core_erasure_prob.clamp(0.0, 1.0),
         ticks: seg_ticks,
         corrected_at_end: seg.correct_at_end,
     });

@@ -186,11 +186,15 @@ pub fn execute_plan<R: Rng + ?Sized>(
             break;
         }
         outcome.latency += ticks;
+        // Fidelities and erasure rates feed straight into the decoder's
+        // Bernoulli error model, which rejects values outside [0, 1];
+        // clamp here so extreme fiber parameters degrade gracefully
+        // instead of panicking downstream.
         outcome.segments.push(SegmentOutcome {
-            core_fidelity,
-            support_fidelity,
-            support_erasure_prob,
-            core_erasure_prob,
+            core_fidelity: core_fidelity.clamp(0.0, 1.0),
+            support_fidelity: support_fidelity.clamp(0.0, 1.0),
+            support_erasure_prob: support_erasure_prob.clamp(0.0, 1.0),
+            core_erasure_prob: core_erasure_prob.clamp(0.0, 1.0),
             ticks,
             corrected_at_end: seg.correct_at_end,
         });

@@ -28,6 +28,8 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("bench.overhead.span", MetricKind::Timer),
     ("decoder.blossom.match", MetricKind::Timer),
     ("decoder.blossom_stages", MetricKind::Counter),
+    ("decoder.cache_hits", MetricKind::Counter),
+    ("decoder.cache_misses", MetricKind::Counter),
     ("decoder.decode", MetricKind::Timer),
     ("decoder.dijkstra_relaxations", MetricKind::Counter),
     ("decoder.growth_rounds", MetricKind::Counter),
@@ -58,6 +60,7 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("routing.codes_scheduled", MetricKind::Counter),
     ("routing.infeasible_attempts", MetricKind::Counter),
     ("routing.schedule", MetricKind::Timer),
+    ("runner.trial_failures", MetricKind::Counter),
     ("telemetry.dropped", MetricKind::Counter),
 ];
 

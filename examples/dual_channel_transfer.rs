@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use surfnet::core::evaluate::{evaluate_transfer, DecoderKind};
+use surfnet::core::evaluate::{DecoderCache, DecoderKind};
 use surfnet::lattice::{CoreTopology, SurfaceCode};
 use surfnet::netsim::execution::{execute_plan, ExecutionConfig, PlannedSegment, TransferPlan};
 use surfnet::netsim::{Network, NodeKind};
@@ -73,10 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let code = SurfaceCode::new(5)?;
     let partition = code.core_partition(CoreTopology::Cross);
     let trials = 300;
+    // The cache builds one decoder per distinct segment signature and
+    // reuses one decode workspace across every shot.
+    let mut cache = DecoderCache::new();
     let mut successes = 0;
     for _ in 0..trials {
         let outcome = execute_plan(&net, &plan, &config, &mut rng);
-        if evaluate_transfer(&code, &partition, &outcome, DecoderKind::SurfNet, &mut rng) {
+        if cache.evaluate_transfer(&code, &partition, &outcome, DecoderKind::SurfNet, &mut rng)? {
             successes += 1;
         }
     }
@@ -101,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut successes = 0;
     for _ in 0..trials {
         let outcome = execute_plan(&net, &raw_plan, &config, &mut rng);
-        if evaluate_transfer(&code, &partition, &outcome, DecoderKind::SurfNet, &mut rng) {
+        if cache.evaluate_transfer(&code, &partition, &outcome, DecoderKind::SurfNet, &mut rng)? {
             successes += 1;
         }
     }
