@@ -7,6 +7,18 @@ pub fn typo() {
     surfnet_telemetry::count!("decoder.growth_round");
 }
 
+pub fn batch_counter_typo() {
+    // `flushs` — the registered name is `decoder.batch.flushes`.
+    surfnet_telemetry::count!("decoder.batch.flushs");
+}
+
+pub fn batch_counters_registered() {
+    surfnet_telemetry::count!("decoder.batch.flushes");
+    surfnet_telemetry::count!("decoder.batch.shots", 64);
+    surfnet_telemetry::count!("decoder.batch.scalar_fallbacks");
+    let _s = surfnet_telemetry::span!("decoder.batch.decode");
+}
+
 pub fn wrong_kind() {
     let _s = surfnet_telemetry::span!("lp.solves");
 }

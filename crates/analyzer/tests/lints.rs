@@ -91,11 +91,19 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
         .iter()
         .filter(|d| d.lint == "telemetry-name")
         .collect();
-    assert_eq!(findings.len(), 4, "{:#?}", r.diagnostics);
+    assert_eq!(findings.len(), 5, "{:#?}", r.diagnostics);
     assert!(findings.iter().all(|d| d.severity == Severity::Error));
     assert!(findings
         .iter()
         .any(|d| d.message.contains("not registered")));
+    // The batch-pipeline counters are in the catalog: a typo'd name is
+    // flagged while the four registered `decoder.batch.*` uses stay clean.
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("decoder.batch.flushs")));
+    assert!(!findings
+        .iter()
+        .any(|d| d.message.contains("decoder.batch.flushes")));
     assert!(findings
         .iter()
         .any(|d| d.message.contains("used via `span`")));

@@ -222,6 +222,11 @@ mod tests {
         assert!(!lower_is_better("a/b/fidelity"));
         assert!(!lower_is_better("a/b/throughput"));
         assert!(!lower_is_better("surfnet/threshold"));
+        // The batch pipeline's first-class throughput metric is
+        // higher-is-better.
+        assert!(!lower_is_better("shots_per_sec"));
+        assert!(!lower_is_better("decoder.batch.flushes"));
+        assert!(!lower_is_better("decoder.batch.shots"));
     }
 
     #[test]

@@ -19,10 +19,13 @@
 use crate::flight;
 use crate::pipeline::PipelineError;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use surfnet_decoder::batch::{decode_batch_with, BatchScratch, LaneDecoder};
 use surfnet_decoder::{DecodeWorkspace, SurfNetDecoder, UnionFindDecoder};
 use surfnet_lattice::{
-    DecodeOutcome, ErrorModel, ErrorSample, LatticeError, Partition, SurfaceCode,
+    DecodeOutcome, ErrorBatch, ErrorModel, ErrorSample, LatticeError, Partition, SurfaceCode,
+    LANES_PER_WORD,
 };
 use surfnet_netsim::execution::{ExecutionOutcome, SegmentOutcome};
 
@@ -33,6 +36,50 @@ pub enum DecoderKind {
     SurfNet,
     /// The Union-Find baseline.
     UnionFind,
+}
+
+/// How the evaluation stage batches shot decoding.
+///
+/// With `batch_size == 0` every shot runs the scalar
+/// [`DecoderCache::evaluate_transfer`] path. With a nonzero size, shots
+/// are packed into per-signature [`ErrorBatch`]es and flushed through the
+/// bit-packed [`decode_batch_with`] kernel — verdicts are bit-identical
+/// either way (the batch path consumes the RNG in exactly the scalar
+/// order and runs the same per-lane decode kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Shots per flush; `0` disables batching entirely.
+    pub batch_size: usize,
+    /// Fall back to the scalar path while the flight recorder is armed,
+    /// so per-segment failure capture keeps working. Disabling this keeps
+    /// batching on but loses flight-recorder artifacts for batched shots.
+    pub scalar_when_flight_armed: bool,
+}
+
+impl Default for BatchConfig {
+    /// Scalar decoding (batching off).
+    fn default() -> BatchConfig {
+        BatchConfig {
+            batch_size: 0,
+            scalar_when_flight_armed: true,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The standard batched configuration: one full `u64` word of lanes
+    /// per flush.
+    pub fn batched() -> BatchConfig {
+        BatchConfig {
+            batch_size: LANES_PER_WORD,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Whether the batch path is enabled at all.
+    pub fn is_batched(&self) -> bool {
+        self.batch_size > 0
+    }
 }
 
 /// Builds the per-qubit error model one segment induces on the code.
@@ -76,12 +123,24 @@ struct SegmentKey {
 impl SegmentKey {
     fn new(segment: &SegmentOutcome, decoder: DecoderKind) -> SegmentKey {
         SegmentKey {
-            core_fidelity: segment.core_fidelity.to_bits(),
-            core_erasure: segment.core_erasure_prob.to_bits(),
-            support_fidelity: segment.support_fidelity.to_bits(),
-            support_erasure: segment.support_erasure_prob.to_bits(),
+            core_fidelity: canonical_bits(segment.core_fidelity),
+            core_erasure: canonical_bits(segment.core_erasure_prob),
+            support_fidelity: canonical_bits(segment.support_fidelity),
+            support_erasure: canonical_bits(segment.support_erasure_prob),
             decoder,
         }
+    }
+}
+
+/// [`f64::to_bits`] with the two IEEE zeros collapsed onto `+0.0`.
+/// `-0.0` and `0.0` compare equal and build identical error models, so
+/// their raw bit patterns (which differ in the sign bit) must not be
+/// allowed to miss the cache as two distinct signatures.
+fn canonical_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
     }
 }
 
@@ -102,6 +161,20 @@ impl AnyDecoder {
         match self {
             AnyDecoder::SurfNet(d) => d.decode_sample_with(code, sample, ws),
             AnyDecoder::UnionFind(d) => d.decode_sample_with(code, sample, ws),
+        }
+    }
+}
+
+impl LaneDecoder for AnyDecoder {
+    fn lane_correction<'ws>(
+        &self,
+        syndrome: &surfnet_lattice::Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws surfnet_lattice::PauliString, surfnet_decoder::DecoderError> {
+        match self {
+            AnyDecoder::SurfNet(d) => d.lane_correction(syndrome, erased, ws),
+            AnyDecoder::UnionFind(d) => d.lane_correction(syndrome, erased, ws),
         }
     }
 }
@@ -128,6 +201,7 @@ pub struct DecoderCache {
     // also keeps iteration order deterministic for telemetry.
     entries: Vec<(SegmentKey, CacheEntry)>,
     workspace: DecodeWorkspace,
+    batch_scratch: BatchScratch,
 }
 
 impl DecoderCache {
@@ -184,7 +258,11 @@ impl DecoderCache {
     /// Error correction happens at the end of every segment (servers) and
     /// at delivery (the receiving user ultimately decodes the logical
     /// qubit), so every segment's accumulated error is decoded against
-    /// the code.
+    /// the code. All segments are sampled and decoded even after a
+    /// failure: the RNG consumption of a transfer then depends only on
+    /// its segment list, never on decode verdicts, which is what lets the
+    /// batch path ([`Self::evaluate_transfers`]) sample up front and
+    /// still match this path draw for draw.
     ///
     /// # Errors
     ///
@@ -201,9 +279,12 @@ impl DecoderCache {
         if !outcome.completed {
             return Ok(false);
         }
+        let mut ok = true;
         for (idx, segment) in outcome.segments.iter().enumerate() {
             let i = self.entry_index(code, partition, segment, decoder)?;
-            let DecoderCache { entries, workspace } = self;
+            let DecoderCache {
+                entries, workspace, ..
+            } = self;
             let entry = &entries[i].1;
             let sample = entry.model.sample(rng);
             let result = if flight::armed() {
@@ -228,11 +309,129 @@ impl DecoderCache {
             if !result.is_success() {
                 surfnet_telemetry::event!("evaluate.shot_failed");
                 flight::capture_logical_error(code, &entry.model, &sample);
-                return Ok(false);
+                ok = false;
             }
         }
-        Ok(true)
+        Ok(ok)
     }
+
+    /// Evaluates a whole slice of transfers, optionally through the
+    /// bit-packed batch pipeline, returning one verdict per transfer
+    /// (`false` for incomplete executions). Verdicts are bit-identical to
+    /// calling [`Self::evaluate_transfer`] on each outcome in order,
+    /// whatever `batch` says: shots are sampled in exactly the scalar
+    /// order (transfer-major, then segment), only the decodes are
+    /// deferred into per-signature [`ErrorBatch`]es — and decoding never
+    /// consumes the RNG.
+    ///
+    /// While the flight recorder is armed the scalar path is used by
+    /// default (see [`BatchConfig::scalar_when_flight_armed`]) so failure
+    /// capture retains its per-segment context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Lattice`] when a segment record carries a
+    /// probability outside `[0, 1]`.
+    pub fn evaluate_transfers<R: Rng + ?Sized>(
+        &mut self,
+        code: &SurfaceCode,
+        partition: &Partition,
+        outcomes: &[ExecutionOutcome],
+        decoder: DecoderKind,
+        rng: &mut R,
+        batch: &BatchConfig,
+    ) -> Result<Vec<bool>, PipelineError> {
+        if !batch.is_batched() || (batch.scalar_when_flight_armed && flight::armed()) {
+            if batch.is_batched() {
+                surfnet_telemetry::count!("decoder.batch.scalar_fallbacks");
+            }
+            return outcomes
+                .iter()
+                .map(|o| self.evaluate_transfer(code, partition, o, decoder, rng))
+                .collect();
+        }
+        let mut verdicts: Vec<bool> = outcomes.iter().map(|o| o.completed).collect();
+        // One shot accumulator per cache entry: lanes fill in shot order
+        // and flush through the batch kernel whenever a word's worth (the
+        // configured batch size) is pending.
+        let mut accums: Vec<BatchAccum> = Vec::new();
+        for (t, outcome) in outcomes.iter().enumerate() {
+            if !outcome.completed {
+                continue;
+            }
+            for segment in &outcome.segments {
+                let i = self.entry_index(code, partition, segment, decoder)?;
+                if accums.len() < self.entries.len() {
+                    accums.resize_with(self.entries.len(), BatchAccum::default);
+                }
+                let acc = &mut accums[i];
+                if acc.batch.num_qubits() != code.num_data_qubits()
+                    || acc.batch.capacity() != batch.batch_size
+                {
+                    acc.batch.reset(code.num_data_qubits(), batch.batch_size);
+                }
+                let lane = acc.batch.push_lane();
+                acc.transfers.push(t);
+                self.entries[i]
+                    .1
+                    .model
+                    .sample_lane_into(rng, &mut acc.batch, lane);
+                if acc.batch.is_full() {
+                    self.flush_accum(code, i, &mut accums[i], &mut verdicts);
+                }
+            }
+        }
+        // Ragged final flushes, in deterministic cache-entry order.
+        for (i, acc) in accums.iter_mut().enumerate() {
+            if !acc.batch.is_empty() {
+                self.flush_accum(code, i, acc, &mut verdicts);
+            }
+        }
+        Ok(verdicts)
+    }
+
+    /// Decodes one accumulated batch against cache entry `i` and clears
+    /// the accumulator. Any failing lane marks its originating transfer's
+    /// verdict `false`.
+    fn flush_accum(
+        &mut self,
+        code: &SurfaceCode,
+        i: usize,
+        acc: &mut BatchAccum,
+        verdicts: &mut [bool],
+    ) {
+        let DecoderCache {
+            entries,
+            workspace,
+            batch_scratch,
+        } = self;
+        let outcomes = decode_batch_with(
+            &entries[i].1.decoder,
+            code,
+            &acc.batch,
+            workspace,
+            batch_scratch,
+        )
+        .expect("decoding a well-formed surface code sample cannot fail");
+        for (lane, result) in outcomes.iter().enumerate() {
+            debug_assert!(result.syndrome_cleared);
+            if !result.is_success() {
+                surfnet_telemetry::event!("evaluate.shot_failed");
+                verdicts[acc.transfers[lane]] = false;
+            }
+        }
+        acc.batch.clear();
+        acc.transfers.clear();
+    }
+}
+
+/// Pending shots of one cache entry awaiting a batched decode: the packed
+/// samples plus, per lane, the index of the transfer whose verdict the
+/// lane's outcome feeds.
+#[derive(Debug, Default)]
+struct BatchAccum {
+    batch: ErrorBatch,
+    transfers: Vec<usize>,
 }
 
 /// Samples and decodes every segment of one executed transfer with a
@@ -390,6 +589,80 @@ mod tests {
             .unwrap();
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn negative_zero_probability_hits_the_cache() {
+        // Regression: the signature used raw f64::to_bits, so a segment
+        // with core_erasure_prob == -0.0 missed the 0.0 entry and built a
+        // duplicate decoder.
+        let (code, part) = code_and_partition();
+        let positive = segment(0.98, 0.95, 0.02);
+        let mut negative = positive.clone();
+        negative.core_erasure_prob = -0.0;
+        let outcome = ExecutionOutcome {
+            completed: true,
+            latency: 6,
+            segments: vec![positive, negative],
+        };
+        let mut cache = DecoderCache::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        cache
+            .evaluate_transfer(&code, &part, &outcome, DecoderKind::SurfNet, &mut rng)
+            .unwrap();
+        assert_eq!(cache.len(), 1, "-0.0 and 0.0 must share one cache entry");
+    }
+
+    #[test]
+    fn batched_verdicts_match_scalar_bit_for_bit() {
+        // The tentpole's core guarantee at the evaluation layer: for any
+        // batch size (full words, ragged tails, single lanes), the batch
+        // path must return exactly the scalar path's verdicts from the
+        // same seed — same RNG draw order, same per-lane corrections.
+        let (code, part) = code_and_partition();
+        let outcomes: Vec<ExecutionOutcome> = (0..12)
+            .map(|i| ExecutionOutcome {
+                completed: i % 5 != 4,
+                latency: 6,
+                segments: vec![
+                    segment(0.93, 0.85, 0.12),
+                    segment(0.96, 0.88, 0.05 + 0.01 * (i % 3) as f64),
+                ],
+            })
+            .collect();
+        for kind in [DecoderKind::SurfNet, DecoderKind::UnionFind] {
+            for seed in [31u64, 32] {
+                let scalar: Vec<bool> = {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut cache = DecoderCache::new();
+                    cache
+                        .evaluate_transfers(
+                            &code,
+                            &part,
+                            &outcomes,
+                            kind,
+                            &mut rng,
+                            &BatchConfig::default(),
+                        )
+                        .unwrap()
+                };
+                for batch_size in [1usize, 7, 64, 200] {
+                    let cfg = BatchConfig {
+                        batch_size,
+                        ..BatchConfig::default()
+                    };
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut cache = DecoderCache::new();
+                    let batched = cache
+                        .evaluate_transfers(&code, &part, &outcomes, kind, &mut rng, &cfg)
+                        .unwrap();
+                    assert_eq!(
+                        scalar, batched,
+                        "kind {kind:?} seed {seed} batch {batch_size}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -75,10 +75,12 @@ pub fn parallel_trials(
                         }
                     }
                 }
-                // Scope join does not wait for TLS destructors, so drain
-                // the journal ring explicitly before the closure returns —
-                // otherwise a trace written right after this scope can miss
-                // this worker's events.
+                // Scope join does not wait for TLS destructors, so merge
+                // the counter shard and drain the journal ring explicitly
+                // before the closure returns — otherwise a snapshot or
+                // trace taken right after this scope races the destructors
+                // and can miss this worker's counts and events.
+                surfnet_telemetry::flush();
                 surfnet_telemetry::journal::flush_thread();
             });
         }
@@ -118,6 +120,7 @@ where
                     results.lock().push((i, out));
                 }
                 // See parallel_trials: flush before the scope observes exit.
+                surfnet_telemetry::flush();
                 surfnet_telemetry::journal::flush_thread();
             });
         }

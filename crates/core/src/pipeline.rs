@@ -195,20 +195,30 @@ pub fn run_trial_on<R: Rng + ?Sized>(
                 }
             };
             let _span = surfnet_telemetry::span!("pipeline.evaluate");
-            // One decoder cache + workspace for the whole trial: identical
-            // segment signatures reuse one constructed decoder, every shot
-            // reuses the same scratch buffers.
+            // One decoder cache + workspace (+ batch scratch) for the whole
+            // trial: identical segment signatures reuse one constructed
+            // decoder, every shot reuses the same buffers. The batch config
+            // decides whether shots decode scalar or word-parallel; the
+            // verdicts are bit-identical either way.
             let mut cache = DecoderCache::new();
+            let verdicts = cache.evaluate_transfers(
+                &code,
+                &partition,
+                &outcomes,
+                DecoderKind::SurfNet,
+                rng,
+                &cfg.batch,
+            )?;
             let mut executed = 0u32;
             let mut successes = 0u32;
             let mut latency_sum = 0u64;
-            for outcome in &outcomes {
+            for (outcome, ok) in outcomes.iter().zip(&verdicts) {
                 if !outcome.completed {
                     continue;
                 }
                 executed += 1;
                 latency_sum += outcome.latency;
-                if cache.evaluate_transfer(&code, &partition, outcome, DecoderKind::SurfNet, rng)? {
+                if *ok {
                     successes += 1;
                 }
             }

@@ -1,6 +1,7 @@
 //! Evaluation scenarios (paper Sec. VI-A/B): facility levels × connection
 //! quality, and the per-trial configuration bundle.
 
+use crate::evaluate::BatchConfig;
 use serde::{Deserialize, Serialize};
 use surfnet_netsim::execution::ExecutionConfig;
 use surfnet_netsim::generate::NetworkConfig;
@@ -137,6 +138,9 @@ pub struct TrialConfig {
     /// instead of independently. Fidelity statistics are unchanged;
     /// latency reflects contention.
     pub concurrent_execution: bool,
+    /// Shot-decoding batch configuration (bit-packed word-parallel
+    /// decoding when enabled; verdicts are bit-identical either way).
+    pub batch: BatchConfig,
 }
 
 impl Default for TrialConfig {
@@ -166,6 +170,7 @@ impl Default for TrialConfig {
             capacity_scale: 1.0,
             entanglement_scale: 1.0,
             concurrent_execution: false,
+            batch: BatchConfig::default(),
         }
     }
 }

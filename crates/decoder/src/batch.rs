@@ -1,0 +1,297 @@
+//! Batched decoding over bit-packed shots.
+//!
+//! [`decode_batch_with`] decodes every lane of an
+//! [`surfnet_lattice::ErrorBatch`] with one decoder, one reusable
+//! [`DecodeWorkspace`], and one reusable [`BatchScratch`]. The batch
+//! structure moves the *data-path* work onto `u64` words — syndrome
+//! extraction, residual composition, and outcome scoring each touch 64
+//! shots per word operation — while the per-shot *inference* (cluster
+//! growth / peeling / MWPM) still runs the existing scalar kernels on
+//! lanes extracted from the planes. SIMD-izing the decoders themselves is
+//! deliberately out of scope; the scalar kernels are what the equivalence
+//! harness in `tests/batch_equivalence.rs` pins the batch path against.
+//!
+//! # Bit-identity contract
+//!
+//! For every lane, the correction and [`DecodeOutcome`] produced here are
+//! bit-identical to calling the decoder's `decode_sample_with` on the
+//! unpacked [`surfnet_lattice::ErrorSample`]. This holds because each
+//! stage is an exact reformulation:
+//!
+//! * the packed syndrome of a lane equals the scalar extraction (both are
+//!   the same stabilizer-support parities);
+//! * the lane decode *is* the scalar kernel, fed the same syndrome and
+//!   erasure flags through the same workspace;
+//! * scoring XORs the error and correction planes (the phase-free Pauli
+//!   product) and re-extracts parities — exactly `score_correction` on
+//!   the unpacked strings.
+//!
+//! Any future change to the batch kernels must keep the equivalence tests
+//! green; they are the gate.
+
+use crate::decoder::{MwpmDecoder, SurfNetDecoder, UnionFindDecoder};
+use crate::workspace::DecodeWorkspace;
+use crate::DecoderError;
+use surfnet_lattice::bitplanes::LANES_PER_WORD;
+use surfnet_lattice::{
+    DecodeOutcome, ErrorBatch, LogicalFailure, PauliBitplanes, PauliString, SurfaceCode, Syndrome,
+    SyndromeBitplanes,
+};
+
+/// A decoder that can be driven lane-by-lane from a batch: produce a
+/// correction for one extracted syndrome inside a caller workspace.
+///
+/// All three concrete decoders implement this by forwarding to their
+/// `correction_for_with`, so the batch path runs exactly the scalar
+/// kernels.
+pub trait LaneDecoder {
+    /// Decodes one lane's syndrome into the workspace's correction buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecoderError`] when the syndrome cannot be decoded.
+    fn lane_correction<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError>;
+}
+
+impl LaneDecoder for MwpmDecoder {
+    fn lane_correction<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
+        self.correction_for_with(syndrome, erased, ws)
+    }
+}
+
+impl LaneDecoder for UnionFindDecoder {
+    fn lane_correction<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
+        self.correction_for_with(syndrome, erased, ws)
+    }
+}
+
+impl LaneDecoder for SurfNetDecoder {
+    fn lane_correction<'ws>(
+        &self,
+        syndrome: &Syndrome,
+        erased: &[bool],
+        ws: &'ws mut DecodeWorkspace,
+    ) -> Result<&'ws PauliString, DecoderError> {
+        self.correction_for_with(syndrome, erased, ws)
+    }
+}
+
+/// Reusable batch-level buffers: packed syndromes, packed corrections,
+/// the residual planes, and the scored outcomes. One instance serves any
+/// code size, decoder kind, and batch width — buffers are resized by each
+/// decode, so a hot loop allocates on the first batch only.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    syndromes: SyndromeBitplanes,
+    corrections: PauliBitplanes,
+    residual: PauliBitplanes,
+    residual_syndromes: SyndromeBitplanes,
+    erased: Vec<bool>,
+    needs_decode: Vec<u64>,
+    erased_any: Vec<u64>,
+    nontrivial: Vec<u64>,
+    logical_x: Vec<u64>,
+    logical_z: Vec<u64>,
+    outcomes: Vec<DecodeOutcome>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers are sized lazily by the first batch.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// The outcomes of the last [`decode_batch_with`] call, one per lane.
+    pub fn outcomes(&self) -> &[DecodeOutcome] {
+        &self.outcomes
+    }
+
+    /// Unpacks one lane's correction from the last decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range of the last batch.
+    pub fn correction_lane(&self, lane: usize) -> PauliString {
+        self.corrections.unpack_lane(lane)
+    }
+
+    /// Unpacks one lane's extracted syndrome from the last decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range of the last batch.
+    pub fn syndrome_lane(&self, lane: usize) -> Syndrome {
+        self.syndromes.lane(lane)
+    }
+}
+
+/// Decodes every filled lane of `batch`, returning one [`DecodeOutcome`]
+/// per lane (in lane order), bit-identical to the scalar
+/// `decode_sample_with` path on the unpacked samples.
+///
+/// Syndrome extraction and outcome scoring run word-parallel over the
+/// planes; the per-lane decode runs the scalar kernel inside `ws`. The
+/// returned slice borrows `scratch` and is also available afterwards via
+/// [`BatchScratch::outcomes`].
+///
+/// # Errors
+///
+/// Returns the first lane's [`DecoderError`] if its syndrome cannot be
+/// decoded (well-formed simulation graphs never hit this).
+///
+/// # Panics
+///
+/// Panics if `batch` does not cover `code`'s data qubits.
+pub fn decode_batch_with<'s, D: LaneDecoder + ?Sized>(
+    decoder: &D,
+    code: &SurfaceCode,
+    batch: &ErrorBatch,
+    ws: &mut DecodeWorkspace,
+    scratch: &'s mut BatchScratch,
+) -> Result<&'s [DecodeOutcome], DecoderError> {
+    let _span = surfnet_telemetry::span!("decoder.batch.decode");
+    surfnet_telemetry::count!("decoder.batch.flushes");
+    surfnet_telemetry::count!("decoder.batch.shots", batch.len() as u64);
+
+    // Word-parallel syndrome extraction: 64 lanes per XOR.
+    code.extract_syndrome_batch(batch.pauli(), &mut scratch.syndromes);
+
+    // Word-parallel trivial-lane mask: a lane with an all-zero syndrome
+    // and no erasures decodes to the identity correction on every kernel,
+    // so only lanes in `needs_decode` reach the scalar kernel below. The
+    // scalar path takes the same shortcut (`trivial_fast_path` in
+    // `decoder.rs`), so work counters stay in lockstep between the paths.
+    scratch
+        .syndromes
+        .nontrivial_lanes_into(&mut scratch.needs_decode);
+    batch.erased_plane().any_rows_into(&mut scratch.erased_any);
+    for (need, &any) in scratch.needs_decode.iter_mut().zip(&scratch.erased_any) {
+        *need |= any;
+    }
+
+    // Per-lane inference on the scalar kernels. Unfilled lanes of a ragged
+    // batch and skipped trivial lanes keep identity corrections, so the
+    // residual stays the raw error there.
+    scratch
+        .corrections
+        .reset(code.num_data_qubits(), batch.capacity());
+    let mut skipped = 0u64;
+    let mut erased_all_clear = false;
+    for lane in 0..batch.len() {
+        let word = lane / LANES_PER_WORD;
+        if scratch.needs_decode[word] >> (lane % LANES_PER_WORD) & 1 == 0 {
+            skipped += 1;
+            continue;
+        }
+        let mut syndrome = std::mem::take(&mut ws.syndrome);
+        scratch.syndromes.lane_into(lane, &mut syndrome);
+        // Lanes in an erasure-free word share one all-false erasure slice
+        // instead of unpacking a column of zeros each.
+        if scratch.erased_any[word] == 0 {
+            if !erased_all_clear {
+                scratch.erased.clear();
+                scratch.erased.resize(batch.num_qubits(), false);
+                erased_all_clear = true;
+            }
+        } else {
+            batch.erased_lane_into(lane, &mut scratch.erased);
+            erased_all_clear = false;
+        }
+        let status = match decoder.lane_correction(&syndrome, &scratch.erased, ws) {
+            Ok(correction) => {
+                // The plane was reset above, so the lane is identity and
+                // only the correction's support needs writing.
+                scratch.corrections.pack_lane_cleared(lane, correction);
+                Ok(())
+            }
+            Err(err) => Err(err),
+        };
+        ws.syndrome = syndrome;
+        status?;
+    }
+    if skipped > 0 {
+        surfnet_telemetry::count!("decoder.trivial_skips", skipped);
+    }
+
+    // Word-parallel scoring: residual = error ∘ correction is a plane XOR;
+    // syndrome clearance and logical parities are XOR/OR folds over rows.
+    scratch.residual.copy_from(batch.pauli());
+    scratch.residual.xor_assign(&scratch.corrections);
+    code.extract_syndrome_batch(&scratch.residual, &mut scratch.residual_syndromes);
+    scratch
+        .residual_syndromes
+        .nontrivial_lanes_into(&mut scratch.nontrivial);
+    code.logical_failure_batch(
+        &scratch.residual,
+        &mut scratch.logical_x,
+        &mut scratch.logical_z,
+    );
+
+    scratch.outcomes.clear();
+    for lane in 0..batch.len() {
+        let word = lane / LANES_PER_WORD;
+        let bit = lane % LANES_PER_WORD;
+        scratch.outcomes.push(DecodeOutcome {
+            syndrome_cleared: scratch.nontrivial[word] >> bit & 1 == 0,
+            logical_failure: LogicalFailure {
+                x: scratch.logical_x[word] >> bit & 1 == 1,
+                z: scratch.logical_z[word] >> bit & 1 == 1,
+            },
+        });
+    }
+    Ok(&scratch.outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use surfnet_lattice::ErrorModel;
+
+    #[test]
+    fn batched_outcomes_match_scalar_for_surfnet() {
+        let code = SurfaceCode::new(5).unwrap();
+        let model = ErrorModel::uniform(&code, 0.06, 0.1);
+        let decoder = SurfNetDecoder::from_model(&code, &model);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let batch = model.sample_batch(&mut rng, 70);
+        let mut ws = DecodeWorkspace::new();
+        let mut scratch = BatchScratch::new();
+        decode_batch_with(&decoder, &code, &batch, &mut ws, &mut scratch).unwrap();
+        assert_eq!(scratch.outcomes().len(), 70);
+        let mut scalar_ws = DecodeWorkspace::new();
+        for lane in 0..batch.len() {
+            let sample = batch.lane_sample(lane);
+            let scalar = decoder.decode_sample_with(&code, &sample, &mut scalar_ws);
+            assert_eq!(scratch.outcomes()[lane], scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_decodes_to_no_outcomes() {
+        let code = SurfaceCode::new(3).unwrap();
+        let model = ErrorModel::uniform(&code, 0.05, 0.0);
+        let decoder = UnionFindDecoder::from_model(&code, &model);
+        let batch = ErrorBatch::new(code.num_data_qubits(), 64);
+        let mut ws = DecodeWorkspace::new();
+        let mut scratch = BatchScratch::new();
+        let outcomes = decode_batch_with(&decoder, &code, &batch, &mut ws, &mut scratch).unwrap();
+        assert!(outcomes.is_empty());
+    }
+}

@@ -19,6 +19,30 @@ use surfnet_lattice::{
     DecodeOutcome, ErrorModel, ErrorSample, Pauli, PauliString, SurfaceCode, Syndrome,
 };
 
+/// The trivial-shot fast path shared by the three `decode_sample_with`
+/// implementations: a shot with an empty syndrome and no erasures decodes
+/// to the identity correction on every kernel (growth, peeling, and
+/// matching all start from defects or erasure clusters, and there are
+/// none), so the outcome is just the logical parity of the raw error —
+/// which can still be a failure when the error is itself a logical
+/// operator. Bit-identity to actually running the kernel is pinned by
+/// `tests/batch_equivalence.rs`, whose scalar reference goes through the
+/// raw [`Decoder::decode`] path.
+fn trivial_fast_path(
+    code: &SurfaceCode,
+    sample: &ErrorSample,
+    syndrome: &Syndrome,
+) -> Option<DecodeOutcome> {
+    if !syndrome.is_trivial() || sample.erased.iter().any(|&e| e) {
+        return None;
+    }
+    surfnet_telemetry::count!("decoder.trivial_skips");
+    Some(DecodeOutcome {
+        syndrome_cleared: true,
+        logical_failure: code.logical_failure(&sample.pauli),
+    })
+}
+
 /// A complete surface-code decoder.
 ///
 /// Implementations are constructed against a fixed code + error model (the
@@ -206,7 +230,9 @@ impl MwpmDecoder {
     ) -> DecodeOutcome {
         let mut syndrome = std::mem::take(&mut ws.syndrome);
         code.extract_syndrome_into(&sample.pauli, &mut syndrome);
-        let outcome = {
+        let outcome = if let Some(fast) = trivial_fast_path(code, sample, &syndrome) {
+            fast
+        } else {
             let correction = self
                 .correction_for_with(&syndrome, &sample.erased, ws)
                 // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample
@@ -338,7 +364,9 @@ impl UnionFindDecoder {
     ) -> DecodeOutcome {
         let mut syndrome = std::mem::take(&mut ws.syndrome);
         code.extract_syndrome_into(&sample.pauli, &mut syndrome);
-        let outcome = {
+        let outcome = if let Some(fast) = trivial_fast_path(code, sample, &syndrome) {
+            fast
+        } else {
             let correction = self
                 .correction_for_with(&syndrome, &sample.erased, ws)
                 // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample
@@ -479,7 +507,9 @@ impl SurfNetDecoder {
     ) -> DecodeOutcome {
         let mut syndrome = std::mem::take(&mut ws.syndrome);
         code.extract_syndrome_into(&sample.pauli, &mut syndrome);
-        let outcome = {
+        let outcome = if let Some(fast) = trivial_fast_path(code, sample, &syndrome) {
+            fast
+        } else {
             let correction = self
                 .correction_for_with(&syndrome, &sample.erased, ws)
                 // analyzer:allow(panic-site): documented API contract — same simulation-loop convenience as Decoder::decode_sample

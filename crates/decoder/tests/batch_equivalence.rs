@@ -1,0 +1,216 @@
+//! Equivalence harness: the bit-packed batch pipeline must be
+//! bit-identical to the scalar decode path — same syndromes, same
+//! corrections, same logical outcomes — for every decoder kind, with and
+//! without erasures, across distances and batch shapes (including ragged
+//! final words and batches larger than one 64-lane word).
+//!
+//! These tests are the gate for any future change to the batch kernels:
+//! a word-parallel optimization that drifts from the scalar path by even
+//! one bit fails here before it can skew simulation results.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use surfnet_decoder::{
+    decode_batch_with, BatchScratch, DecodeWorkspace, Decoder, LaneDecoder, MwpmDecoder,
+    SurfNetDecoder, UnionFindDecoder,
+};
+use surfnet_lattice::{ErrorBatch, ErrorModel, ErrorSample, SurfaceCode};
+
+/// The batch shapes of the matrix: one lane, a ragged sub-word batch, a
+/// full word, one word plus a ragged lane, and several words with a
+/// ragged tail.
+const BATCH_SIZES: [usize; 5] = [1, 7, 64, 65, 200];
+
+/// Distances of the matrix (kept ≤ 9 so the full matrix stays fast in
+/// debug builds).
+const DISTANCES: [usize; 3] = [3, 5, 9];
+
+fn model_for(code: &SurfaceCode, erasures: bool) -> ErrorModel {
+    let p_e = if erasures { 0.12 } else { 0.0 };
+    ErrorModel::uniform(code, 0.04, p_e)
+}
+
+fn seeded_samples(model: &ErrorModel, count: usize, seed: u64) -> Vec<ErrorSample> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| model.sample(&mut rng)).collect()
+}
+
+/// Decodes `samples` through both paths with shared scratch state and
+/// asserts lane-by-lane bit-identity of syndromes, corrections, and
+/// outcomes, plus identical logical-failure tallies.
+fn assert_batch_matches_scalar<D: Decoder + LaneDecoder>(
+    decoder: &D,
+    code: &SurfaceCode,
+    samples: &[ErrorSample],
+    ws: &mut DecodeWorkspace,
+    scratch: &mut BatchScratch,
+    label: &str,
+) {
+    let batch = ErrorBatch::pack(samples);
+    assert_eq!(batch.len(), samples.len(), "{label}: pack lost lanes");
+
+    let outcomes = decode_batch_with(decoder, code, &batch, ws, scratch)
+        .unwrap_or_else(|e| panic!("{label}: batch decode failed: {e:?}"));
+    assert_eq!(outcomes.len(), samples.len(), "{label}: outcome count");
+    let outcomes = outcomes.to_vec();
+
+    let mut scalar_tally = (0usize, 0usize);
+    let mut batch_tally = (0usize, 0usize);
+    for (lane, sample) in samples.iter().enumerate() {
+        // Scalar reference: the public per-shot path (own syndrome
+        // extraction, own workspace inside `Decoder::decode`, scalar
+        // scoring).
+        let syndrome = code.extract_syndrome(&sample.pauli);
+        let correction = decoder
+            .decode(code, &syndrome, &sample.erased)
+            .unwrap_or_else(|e| panic!("{label}: scalar decode failed: {e:?}"));
+        let outcome = code.score_correction(&sample.pauli, &correction);
+
+        assert_eq!(
+            scratch.syndrome_lane(lane),
+            syndrome,
+            "{label}: lane {lane} syndrome differs"
+        );
+        assert_eq!(
+            scratch.correction_lane(lane),
+            correction,
+            "{label}: lane {lane} correction differs"
+        );
+        assert_eq!(
+            outcomes[lane], outcome,
+            "{label}: lane {lane} outcome differs"
+        );
+        scalar_tally.0 += usize::from(outcome.logical_failure.x);
+        scalar_tally.1 += usize::from(outcome.logical_failure.z);
+        batch_tally.0 += usize::from(outcomes[lane].logical_failure.x);
+        batch_tally.1 += usize::from(outcomes[lane].logical_failure.z);
+    }
+    assert_eq!(scalar_tally, batch_tally, "{label}: failure tallies differ");
+}
+
+/// The full matrix for one decoder kind: erasure on/off × distance ×
+/// batch size, sharing one workspace and one scratch across every cell
+/// (the production pattern — a cache entry's workspace outlives batches).
+fn run_matrix<D: Decoder + LaneDecoder>(build: impl Fn(&SurfaceCode, &ErrorModel) -> D) {
+    let mut ws = DecodeWorkspace::new();
+    let mut scratch = BatchScratch::new();
+    for (di, &distance) in DISTANCES.iter().enumerate() {
+        let code = SurfaceCode::new(distance).unwrap();
+        for erasures in [false, true] {
+            let model = model_for(&code, erasures);
+            let decoder = build(&code, &model);
+            for (si, &size) in BATCH_SIZES.iter().enumerate() {
+                let seed = 9000 + (di * 10 + si) as u64 * 17 + u64::from(erasures);
+                let samples = seeded_samples(&model, size, seed);
+                let label = format!("d={distance} erasures={erasures} batch={size} seed={seed}");
+                assert_batch_matches_scalar(
+                    &decoder,
+                    &code,
+                    &samples,
+                    &mut ws,
+                    &mut scratch,
+                    &label,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn surfnet_batches_are_bit_identical_to_scalar() {
+    run_matrix(SurfNetDecoder::from_model);
+}
+
+#[test]
+fn union_find_batches_are_bit_identical_to_scalar() {
+    run_matrix(UnionFindDecoder::from_model);
+}
+
+#[test]
+fn mwpm_batches_are_bit_identical_to_scalar() {
+    run_matrix(MwpmDecoder::from_model);
+}
+
+/// The evaluate loop's flush pattern: a fixed-capacity accumulator
+/// filled lane by lane, flushed when full, with a ragged final flush —
+/// all while the *same* workspace also serves interleaved scalar
+/// decodes. Batching must not leak state between flushes or between the
+/// scalar and batched users of the workspace.
+#[test]
+fn ragged_flushes_with_interleaved_scalar_decodes_share_state_safely() {
+    const CAPACITY: usize = 64;
+    const SHOTS: usize = 200; // 3 full flushes + a ragged 8-lane flush
+
+    let code = SurfaceCode::new(5).unwrap();
+    let model = model_for(&code, true);
+    let decoder = SurfNetDecoder::from_model(&code, &model);
+    let samples = seeded_samples(&model, SHOTS, 4242);
+
+    // Scalar reference for every shot, computed up front.
+    let expected: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            let syndrome = code.extract_syndrome(&s.pauli);
+            let correction = decoder.decode(&code, &syndrome, &s.erased).unwrap();
+            code.score_correction(&s.pauli, &correction)
+        })
+        .collect();
+
+    let mut ws = DecodeWorkspace::new();
+    let mut scratch = BatchScratch::new();
+    let mut batch = ErrorBatch::new(code.num_data_qubits(), CAPACITY);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut got = Vec::with_capacity(SHOTS);
+    for (i, sample) in samples.iter().enumerate() {
+        let lane = batch.push_lane();
+        batch.set_lane(lane, sample);
+        if batch.is_full() || i + 1 == SHOTS {
+            // Interleave a scalar decode through the SAME workspace right
+            // before the flush — the production cache shares it too.
+            let noise = model.sample(&mut rng);
+            let noise_syndrome = code.extract_syndrome(&noise.pauli);
+            decoder
+                .lane_correction(&noise_syndrome, &noise.erased, &mut ws)
+                .unwrap();
+
+            let outcomes =
+                decode_batch_with(&decoder, &code, &batch, &mut ws, &mut scratch).unwrap();
+            got.extend_from_slice(outcomes);
+            batch.clear();
+        }
+    }
+    assert!(batch.is_empty(), "all lanes must flush");
+    assert_eq!(got, expected, "flushed outcomes differ from scalar path");
+}
+
+/// Decoding the same packed batch twice through reused scratch must give
+/// the same answer — scratch reuse cannot carry stale lanes across
+/// calls of different sizes.
+#[test]
+fn scratch_reuse_across_shrinking_batches_is_clean() {
+    let code = SurfaceCode::new(5).unwrap();
+    let model = model_for(&code, true);
+    let decoder = UnionFindDecoder::from_model(&code, &model);
+    let mut ws = DecodeWorkspace::new();
+    let mut scratch = BatchScratch::new();
+
+    let big = ErrorBatch::pack(&seeded_samples(&model, 130, 7));
+    let small_samples = seeded_samples(&model, 3, 8);
+    let small = ErrorBatch::pack(&small_samples);
+
+    decode_batch_with(&decoder, &code, &big, &mut ws, &mut scratch).unwrap();
+    let outcomes = decode_batch_with(&decoder, &code, &small, &mut ws, &mut scratch)
+        .unwrap()
+        .to_vec();
+    assert_eq!(outcomes.len(), 3);
+    for (lane, sample) in small_samples.iter().enumerate() {
+        let syndrome = code.extract_syndrome(&sample.pauli);
+        let correction = decoder.decode(&code, &syndrome, &sample.erased).unwrap();
+        assert_eq!(scratch.syndrome_lane(lane), syndrome);
+        assert_eq!(scratch.correction_lane(lane), correction);
+        assert_eq!(
+            outcomes[lane],
+            code.score_correction(&sample.pauli, &correction)
+        );
+    }
+}

@@ -210,6 +210,25 @@ impl ErrorModel {
         self.erasure_prob[q] = p;
     }
 
+    /// Draws the `(erased, operator)` outcome for one qubit.
+    ///
+    /// This is the single source of truth for the per-qubit RNG draw order
+    /// — [`ErrorModel::sample`] and the batch sampler in
+    /// [`crate::bitplanes`] both call it, which is what makes the batch
+    /// path bit-identical to the scalar path: an erasure consumes two draws
+    /// (threshold + mixed-state operator), a surviving qubit consumes the
+    /// threshold draw and, on a hit, the error-operator draw.
+    #[inline]
+    pub(crate) fn draw_qubit<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> (bool, Pauli) {
+        if rng.gen::<f64>() < self.erasure_prob[q] {
+            (true, Pauli::ALL[rng.gen_range(0..4)])
+        } else if rng.gen::<f64>() < self.pauli_prob[q] {
+            (false, Pauli::ERRORS[rng.gen_range(0..3)])
+        } else {
+            (false, Pauli::I)
+        }
+    }
+
     /// Samples one transmission: first erasures (an erased qubit becomes a
     /// maximally mixed state — uniform `{I, X, Y, Z}`), then independent
     /// Pauli errors on the surviving qubits.
@@ -218,12 +237,9 @@ impl ErrorModel {
         let mut pauli = PauliString::identity(n);
         let mut erased = vec![false; n];
         for q in 0..n {
-            if rng.gen::<f64>() < self.erasure_prob[q] {
-                erased[q] = true;
-                let op = Pauli::ALL[rng.gen_range(0..4)];
-                pauli.set(q, op);
-            } else if rng.gen::<f64>() < self.pauli_prob[q] {
-                let op = Pauli::ERRORS[rng.gen_range(0..3)];
+            let (is_erased, op) = self.draw_qubit(q, rng);
+            erased[q] = is_erased;
+            if !op.is_identity() {
                 pauli.set(q, op);
             }
         }

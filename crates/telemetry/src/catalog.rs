@@ -26,6 +26,10 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("bench.ablation_step.trials", MetricKind::Timer),
     ("bench.overhead.counter", MetricKind::Counter),
     ("bench.overhead.span", MetricKind::Timer),
+    ("decoder.batch.decode", MetricKind::Timer),
+    ("decoder.batch.flushes", MetricKind::Counter),
+    ("decoder.batch.scalar_fallbacks", MetricKind::Counter),
+    ("decoder.batch.shots", MetricKind::Counter),
     ("decoder.blossom.match", MetricKind::Timer),
     ("decoder.blossom_stages", MetricKind::Counter),
     ("decoder.cache_hits", MetricKind::Counter),
@@ -37,6 +41,7 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("decoder.peel", MetricKind::Timer),
     ("decoder.peeling_passes", MetricKind::Counter),
     ("decoder.surfnet.decode", MetricKind::Timer),
+    ("decoder.trivial_skips", MetricKind::Counter),
     ("decoder.union_find.decode", MetricKind::Timer),
     ("evaluate.shot_failed", MetricKind::Event),
     ("flight.capture", MetricKind::Event),
