@@ -46,3 +46,19 @@ pub fn event_registered() {
     surfnet_telemetry::event!("evaluate.shot_failed");
     surfnet_telemetry::event!("flight.capture", 7);
 }
+
+pub fn stage_typo() {
+    // `decod` — the registered per-stage histogram is `trial.stage.decode`.
+    let _s = surfnet_telemetry::span!("trial.stage.decod");
+}
+
+pub fn stage_registered() {
+    let _g = surfnet_telemetry::span!("trial.stage.gen");
+    let _r = surfnet_telemetry::span!("trial.stage.route");
+    let _l = surfnet_telemetry::span!("trial.stage.lp");
+    let _e = surfnet_telemetry::span!("trial.stage.entangle");
+    let _p = surfnet_telemetry::span!("trial.stage.purify");
+    let _d = surfnet_telemetry::span!("trial.stage.decode");
+    let _t = surfnet_telemetry::span!("trial.run");
+    surfnet_telemetry::count!("journal.dropped");
+}

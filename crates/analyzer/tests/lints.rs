@@ -91,7 +91,7 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
         .iter()
         .filter(|d| d.lint == "telemetry-name")
         .collect();
-    assert_eq!(findings.len(), 5, "{:#?}", r.diagnostics);
+    assert_eq!(findings.len(), 6, "{:#?}", r.diagnostics);
     assert!(findings.iter().all(|d| d.severity == Severity::Error));
     assert!(findings
         .iter()
@@ -115,6 +115,15 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
     assert!(findings
         .iter()
         .any(|d| d.message.contains("used via `event`")));
+    // The per-trial stage histograms are registered: the typo'd name is
+    // flagged, the seven real ones and `journal.dropped` stay clean.
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("\"trial.stage.decod\"")));
+    assert!(!findings
+        .iter()
+        .any(|d| d.message.contains("trial.stage.decode")));
+    assert!(!findings.iter().any(|d| d.message.contains("trial.run")));
     assert_eq!(r.suppressed, 1);
 }
 

@@ -6,7 +6,9 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --release --bin ablation_concurrency -- [--trials N]`
 
-use surfnet_bench::{arg_or, args, report_json, telemetry_dump, telemetry_init, trace_finish};
+use surfnet_bench::{
+    arg_or, args, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
+};
 use surfnet_core::experiments::runner::parallel_trials;
 use surfnet_core::pipeline::Design;
 use surfnet_core::scenario::TrialConfig;
@@ -36,6 +38,7 @@ fn main() {
         vec![("trials", Value::from(trials)), ("seed", Value::from(seed))],
         &metrics,
     );
+    stats_finish();
     telemetry_dump("ablation_concurrency");
     trace_finish();
 }

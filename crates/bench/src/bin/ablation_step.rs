@@ -6,7 +6,9 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use surfnet_bench::{arg_or, args, report_json, telemetry_dump, telemetry_init, trace_finish};
+use surfnet_bench::{
+    arg_or, args, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
+};
 use surfnet_decoder::{Decoder, SurfNetDecoder};
 use surfnet_lattice::{CoreTopology, ErrorModel, SurfaceCode};
 use surfnet_telemetry::json::Value;
@@ -66,6 +68,7 @@ fn main() {
         ],
         &metrics,
     );
+    stats_finish();
     telemetry_dump("ablation_step");
     trace_finish();
 }

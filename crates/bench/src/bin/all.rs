@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin all -- [--trials N] [--fig8-trials N]`
 
 use surfnet_bench::{
-    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+    arg_or, args, flatten, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
 };
 use surfnet_core::experiments::{fig6a, fig6b, fig7, fig8};
 use surfnet_core::DecoderKind;
@@ -60,6 +60,7 @@ fn main() {
         fig8_metrics.extend(flatten::fig8(&curves));
     }
     report_json::emit("fig8", params(fig8_trials, seed + 3), &fig8_metrics);
+    stats_finish();
     telemetry_dump("fig8");
     trace_finish();
 }

@@ -2,7 +2,12 @@
 //! regressions beyond tolerance.
 //!
 //! Usage: `cargo run -p surfnet-bench --bin bench-diff -- \
-//!     <baseline.json> <candidate.json> [--tol 0.05] [--counters] [--counter-tol 0.5]`
+//!     <baseline.json> <candidate.json> [--tol 0.05] [--counters] [--counter-tol 0.5] \
+//!     [--stages] [--stage-tol 0.5]`
+//!
+//! `--stages` also compares the per-stage timer means (`trial.run` and
+//! `trial.stage.*` mean_ns, lower-is-better) under `--stage-tol` — a
+//! loose default, since stage times are wall-clock.
 //!
 //! Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
 //! malformed report.
@@ -24,8 +29,8 @@ fn main() {
         for a in &args {
             if skip {
                 skip = false;
-            } else if a == "--counters" {
-                // bare flag
+            } else if a == "--counters" || a == "--stages" {
+                // bare flags
             } else if a.starts_with("--") {
                 skip = true;
             } else {
@@ -35,15 +40,21 @@ fn main() {
         out
     };
     let [baseline_path, candidate_path] = positional.as_slice() else {
-        eprintln!("usage: bench-diff <baseline.json> <candidate.json> [--tol T] [--counters] [--counter-tol T]");
+        eprintln!(
+            "usage: bench-diff <baseline.json> <candidate.json> [--tol T] \
+             [--counters] [--counter-tol T] [--stages] [--stage-tol T]"
+        );
         std::process::exit(2);
     };
     let tol = arg_or(&args, "--tol", 0.05f64);
     let counter_tol = has_flag(&args, "--counters").then(|| arg_or(&args, "--counter-tol", 0.5f64));
+    let stage_tol = has_flag(&args, "--stages").then(|| arg_or(&args, "--stage-tol", 0.5f64));
 
     let result = load(baseline_path)
         .and_then(|baseline| load(candidate_path).map(|candidate| (baseline, candidate)))
-        .and_then(|(baseline, candidate)| diff::diff(&baseline, &candidate, tol, counter_tol));
+        .and_then(|(baseline, candidate)| {
+            diff::diff(&baseline, &candidate, tol, counter_tol, stage_tol)
+        });
     match result {
         Ok(report) => {
             print!("{}", report.render());

@@ -3,7 +3,8 @@
 //! Usage: `cargo run -p surfnet-bench --release --bin fig6a -- [--trials N] [--seed S]`
 
 use surfnet_bench::{
-    arg_or, args, flatten, has_flag, report_json, telemetry_dump, telemetry_init, trace_finish,
+    arg_or, args, flatten, has_flag, report_json, stats_finish, telemetry_dump, telemetry_init,
+    trace_finish,
 };
 use surfnet_core::experiments::fig6a;
 use surfnet_telemetry::json::Value;
@@ -24,6 +25,7 @@ fn main() {
         vec![("trials", Value::from(trials)), ("seed", Value::from(seed))],
         &flatten::fig6a(&result),
     );
+    stats_finish();
     telemetry_dump("fig6a");
     trace_finish();
 }

@@ -4,7 +4,7 @@
 //!     [--param capacity|entanglement|messages|threshold|all] [--trials N] [--seed S]`
 
 use surfnet_bench::{
-    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+    arg_or, args, flatten, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
 };
 use surfnet_core::experiments::fig6b::{self, SweepParam};
 use surfnet_telemetry::json::Value;
@@ -38,5 +38,8 @@ fn main() {
         );
         telemetry_dump(&format!("fig6b/{key}"));
     }
+    // The sampler spans all sweeps; the per-sweep dumps reset the
+    // aggregates, so the mid-run samples carry the series.
+    stats_finish();
     trace_finish();
 }

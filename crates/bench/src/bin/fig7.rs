@@ -6,7 +6,7 @@
 //! bit-packed batch pipeline — same figures, different data path)
 
 use surfnet_bench::{
-    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+    arg_or, args, flatten, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
 };
 use surfnet_core::experiments::fig7;
 use surfnet_core::BatchConfig;
@@ -33,6 +33,7 @@ fn main() {
         ],
         &flatten::fig7(&result),
     );
+    stats_finish();
     telemetry_dump("fig7");
     trace_finish();
 }

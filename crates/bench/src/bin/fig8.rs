@@ -6,7 +6,7 @@
 //!     [--trials N] [--seed S] [--max-distance D]`
 
 use surfnet_bench::{
-    arg_or, args, flatten, report_json, telemetry_dump, telemetry_init, trace_finish,
+    arg_or, args, flatten, report_json, stats_finish, telemetry_dump, telemetry_init, trace_finish,
 };
 use surfnet_core::experiments::fig8;
 use surfnet_core::DecoderKind;
@@ -46,6 +46,7 @@ fn main() {
         ],
         &metrics,
     );
+    stats_finish();
     telemetry_dump("fig8");
     trace_finish();
 }

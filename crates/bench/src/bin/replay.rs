@@ -1,6 +1,9 @@
 //! Deterministically re-executes flight-recorder artifacts
 //! (`FLIGHT_*.json`, captured when `SURFNET_FLIGHT=<dir>` is set) and
-//! diffs decoder behavior against the recording.
+//! diffs decoder behavior against the recording. When the artifact's
+//! `journal_tail` is non-empty (event journal was on during capture), the
+//! capturing thread's last spans print as an indented per-stage timeline
+//! annotated with trial/request/segment trace ids.
 //!
 //! Usage: `cargo run -p surfnet-bench --bin replay -- <artifact.json>...`
 //!
@@ -18,12 +21,17 @@ fn main() {
     }
     let mut all_faithful = true;
     for path in &paths {
-        let report =
-            flight::load_artifact(Path::new(path)).and_then(|a| flight::replay_artifact(&a));
+        let report = flight::load_artifact(Path::new(path))
+            .and_then(|a| flight::replay_artifact(&a).map(|r| (a, r)));
         match report {
-            Ok(report) => {
+            Ok((artifact, report)) => {
                 println!("{path}:");
                 print!("{}", report.render());
+                match flight::render_journal_timeline(&artifact) {
+                    Ok(Some(timeline)) => print!("{timeline}"),
+                    Ok(None) => {}
+                    Err(message) => eprintln!("replay: {path}: bad journal tail: {message}"),
+                }
                 all_faithful &= report.is_faithful();
             }
             Err(message) => {

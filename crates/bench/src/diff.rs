@@ -84,9 +84,17 @@ impl DiffReport {
 /// Whether a metric key denotes a lower-is-better quantity.
 pub fn lower_is_better(name: &str) -> bool {
     let last = name.rsplit('/').next().unwrap_or(name);
-    ["latency", "error", "dropped", "infeasible", "std", "failed"]
-        .iter()
-        .any(|marker| last.contains(marker))
+    [
+        "latency",
+        "error",
+        "dropped",
+        "infeasible",
+        "std",
+        "failed",
+        "mean_ns",
+    ]
+    .iter()
+    .any(|marker| last.contains(marker))
 }
 
 fn object(report: &Value, key: &str) -> Result<Vec<(String, f64)>, String> {
@@ -101,6 +109,25 @@ fn object(report: &Value, key: &str) -> Result<Vec<(String, f64)>, String> {
                 .ok_or_else(|| format!("`{key}.{name}` is not a number"))
         })
         .collect()
+}
+
+/// Extracts the per-stage timer means (`trial.run` and `trial.stage.*`)
+/// from a report's `timers` object as flat `<name>/mean_ns` keys, so the
+/// stage breakdown can be compared with the same machinery as metrics.
+fn stage_timers(report: &Value) -> Result<Vec<(String, f64)>, String> {
+    Ok(report
+        .get("timers")
+        .and_then(Value::as_object)
+        .ok_or("report has no `timers` object")?
+        .iter()
+        .filter(|(name, _)| name == "trial.run" || name.starts_with("trial.stage."))
+        .filter_map(|(name, entry)| {
+            entry
+                .get("mean_ns")
+                .and_then(Value::as_f64)
+                .map(|mean| (format!("{name}/mean_ns"), mean))
+        })
+        .collect())
 }
 
 fn check_schema(report: &Value, which: &str) -> Result<(), String> {
@@ -151,7 +178,10 @@ fn compare(
 ///
 /// `tol` is the relative tolerance for `metrics`; counters are compared
 /// too when `counter_tol` is given (they get their own, typically much
-/// looser, tolerance).
+/// looser, tolerance), and the per-stage timer means (`trial.run` and
+/// `trial.stage.*`, as `<name>/mean_ns` keys, lower-is-better) when
+/// `stage_tol` is given — stage times are wall-clock, so its tolerance
+/// should be loose too.
 ///
 /// # Errors
 ///
@@ -162,6 +192,7 @@ pub fn diff(
     candidate: &Value,
     tol: f64,
     counter_tol: Option<f64>,
+    stage_tol: Option<f64>,
 ) -> Result<DiffReport, String> {
     check_schema(baseline, "baseline")?;
     check_schema(candidate, "candidate")?;
@@ -193,6 +224,14 @@ pub fn diff(
             &mut report,
         );
     }
+    if let Some(stol) = stage_tol {
+        compare(
+            &stage_timers(baseline)?,
+            &stage_timers(candidate)?,
+            stol,
+            &mut report,
+        );
+    }
     Ok(report)
 }
 
@@ -219,6 +258,8 @@ mod tests {
         assert!(lower_is_better("surfnet/d9/p0.0500/logical_error_rate"));
         assert!(lower_is_better("telemetry.dropped"));
         assert!(lower_is_better("a/b/failed_trials"));
+        assert!(lower_is_better("trial.stage.decode/mean_ns"));
+        assert!(lower_is_better("trial.run/mean_ns"));
         assert!(!lower_is_better("a/b/fidelity"));
         assert!(!lower_is_better("a/b/throughput"));
         assert!(!lower_is_better("surfnet/threshold"));
@@ -232,7 +273,7 @@ mod tests {
     #[test]
     fn identical_reports_have_zero_regressions() {
         let r = report(&[("a/fidelity", 0.9), ("a/latency", 10.0)]);
-        let d = diff(&r, &r, 0.0, None).unwrap();
+        let d = diff(&r, &r, 0.0, None, None).unwrap();
         assert!(!d.has_regressions());
         assert_eq!(d.rows.len(), 2);
     }
@@ -241,14 +282,14 @@ mod tests {
     fn worse_fidelity_and_worse_latency_regress() {
         let base = report(&[("a/fidelity", 0.9), ("a/latency", 10.0)]);
         let worse = report(&[("a/fidelity", 0.8), ("a/latency", 12.0)]);
-        let d = diff(&base, &worse, 0.05, None).unwrap();
+        let d = diff(&base, &worse, 0.05, None, None).unwrap();
         assert_eq!(d.regressions().len(), 2);
         // The same movement inside tolerance passes.
-        let d = diff(&base, &worse, 0.25, None).unwrap();
+        let d = diff(&base, &worse, 0.25, None, None).unwrap();
         assert!(!d.has_regressions());
         // Movement in the *good* direction is never a regression.
         let better = report(&[("a/fidelity", 0.99), ("a/latency", 5.0)]);
-        let d = diff(&base, &better, 0.0, None).unwrap();
+        let d = diff(&base, &better, 0.0, None, None).unwrap();
         assert!(!d.has_regressions());
     }
 
@@ -256,10 +297,69 @@ mod tests {
     fn missing_metric_is_a_regression_added_is_not() {
         let base = report(&[("a/fidelity", 0.9), ("b/fidelity", 0.9)]);
         let cand = report(&[("a/fidelity", 0.9), ("c/fidelity", 0.9)]);
-        let d = diff(&base, &cand, 0.05, None).unwrap();
+        let d = diff(&base, &cand, 0.05, None, None).unwrap();
         assert!(d.has_regressions());
         assert_eq!(d.missing, vec!["b/fidelity".to_string()]);
         assert_eq!(d.added, vec!["c/fidelity".to_string()]);
+    }
+
+    fn report_with_timers(metrics: &[(&str, f64)], timers: &[(&str, f64)]) -> Value {
+        let metrics_body: String = metrics
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let timers_body: String = timers
+            .iter()
+            .map(|(k, mean)| format!("\"{k}\":{{\"count\":4,\"mean_ns\":{mean}}}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        Value::parse(&format!(
+            "{{\"schema\":\"surfnet-bench/v1\",\"figure\":\"t\",\
+             \"metrics\":{{{metrics_body}}},\"counters\":{{}},\"timers\":{{{timers_body}}}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn stage_means_compare_only_when_requested() {
+        let base = report_with_timers(
+            &[("a/fidelity", 0.9)],
+            &[
+                ("trial.run", 1000.0),
+                ("trial.stage.decode", 700.0),
+                ("pipeline.evaluate", 500.0), // not a stage timer: ignored
+            ],
+        );
+        let slower = report_with_timers(
+            &[("a/fidelity", 0.9)],
+            &[
+                ("trial.run", 1000.0),
+                ("trial.stage.decode", 1400.0),
+                ("pipeline.evaluate", 9999.0),
+            ],
+        );
+        // Without a stage tolerance the slowdown is invisible.
+        let d = diff(&base, &slower, 0.0, None, None).unwrap();
+        assert!(!d.has_regressions());
+        // With one, the decode stage regresses (mean_ns is lower-is-better)
+        // and the non-stage timer still doesn't participate.
+        let d = diff(&base, &slower, 0.0, None, Some(0.2)).unwrap();
+        assert_eq!(d.regressions().len(), 1);
+        assert_eq!(d.regressions()[0].name, "trial.stage.decode/mean_ns");
+        // A loose enough tolerance passes, and faster stages never regress.
+        assert!(!diff(&base, &slower, 0.0, None, Some(2.0))
+            .unwrap()
+            .has_regressions());
+        assert!(!diff(&slower, &base, 0.0, None, Some(0.0))
+            .unwrap()
+            .has_regressions());
+        // A baseline predating stage timers compares nothing but errors on
+        // a missing `timers` object outright.
+        let old = report(&[("a/fidelity", 0.9)]);
+        assert!(diff(&old, &slower, 0.0, None, Some(0.2))
+            .unwrap_err()
+            .contains("timers"));
     }
 
     #[test]
@@ -267,9 +367,11 @@ mod tests {
         let a = report(&[]);
         let mut b_text = a.to_string().replace("\"t\"", "\"u\"");
         let b = Value::parse(&b_text).unwrap();
-        assert!(diff(&a, &b, 0.05, None).unwrap_err().contains("different"));
+        assert!(diff(&a, &b, 0.05, None, None)
+            .unwrap_err()
+            .contains("different"));
         b_text = a.to_string().replace("surfnet-bench/v1", "x/y");
         let b = Value::parse(&b_text).unwrap();
-        assert!(diff(&b, &a, 0.05, None).is_err());
+        assert!(diff(&b, &a, 0.05, None, None).is_err());
     }
 }

@@ -24,6 +24,7 @@ use std::env;
 
 pub mod diff;
 pub mod flatten;
+pub mod report_analyze;
 pub mod report_json;
 
 /// Minimal `--key value` argument extraction for the figure binaries.
@@ -53,13 +54,15 @@ pub fn has_flag(args: &[String], key: &str) -> bool {
 }
 
 /// Enables telemetry according to `SURFNET_TELEMETRY` (`json` or `table`),
-/// the event journal according to `SURFNET_TRACE=<path>`, and the failure
-/// flight recorder according to `SURFNET_FLIGHT=<dir>`.
+/// the event journal according to `SURFNET_TRACE=<path>`, the time-series
+/// stats sampler according to `SURFNET_STATS=<path>[:interval_ms]`, and
+/// the failure flight recorder according to `SURFNET_FLIGHT=<dir>`.
 ///
 /// Every figure binary calls this first thing in `main`.
 pub fn telemetry_init() {
     surfnet_telemetry::Telemetry::init_from_env();
     surfnet_telemetry::journal::init_from_env();
+    surfnet_telemetry::stats::init_from_env();
     surfnet_core::flight::init_from_env();
 }
 
@@ -71,6 +74,16 @@ pub fn trace_finish() {
         Ok(Some(path)) => eprintln!("surfnet-trace: wrote {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("surfnet-trace: write failed: {e}"),
+    }
+}
+
+/// Stops the `SURFNET_STATS` sampler, writing one final exact sample.
+/// Figure binaries call this after `report_json::emit` (which reads the
+/// live snapshot) and **before** [`telemetry_dump`] (which resets the
+/// aggregates the final sample snapshots).
+pub fn stats_finish() {
+    if let Some(path) = surfnet_telemetry::stats::finish() {
+        eprintln!("surfnet-stats: wrote {}", path.display());
     }
 }
 

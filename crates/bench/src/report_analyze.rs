@@ -1,0 +1,521 @@
+//! Run-report analyzer: turns a journal JSONL trace (`SURFNET_TRACE=*.jsonl`)
+//! plus an optional stats time series (`SURFNET_STATS=<path>`) into a
+//! per-stage critical-path breakdown, a top-k slowest-trials table with
+//! stage attribution, and rate-curve summaries.
+//!
+//! The analysis is a pure function of its inputs: the same journal and
+//! stats files always produce the same report, byte for byte (the `report`
+//! binary relies on this — CI runs it twice and diffs the outputs).
+//!
+//! Stage self-times are reconstructed exactly the way the live
+//! [`surfnet_telemetry::stage`] accounting charges them: each
+//! `trial.stage.*` begin/end interval is charged to its stage *minus* any
+//! nested stage intervals, and every stage interval is attributed to the
+//! nearest enclosing `pipeline.trial` span (whose trace context carries
+//! the trial id). Spans left open by journal truncation are dropped.
+
+use surfnet_telemetry::journal::{OwnedEvent, Phase};
+use surfnet_telemetry::json::{self, Value};
+use surfnet_telemetry::stage;
+
+/// Schema tag of the JSON report form.
+pub const SCHEMA: &str = "surfnet-report/v1";
+
+/// The span name `run_trial` emits around each whole trial.
+pub const TRIAL_SPAN: &str = "pipeline.trial";
+
+/// Aggregate self-time of one stage across the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Stage metric name (`trial.stage.decode`, ...).
+    pub stage: String,
+    /// Total self-time (nested stage intervals excluded), nanoseconds.
+    pub total_ns: u64,
+    /// Number of begin/end intervals that contributed.
+    pub spans: u64,
+}
+
+/// One trial's duration and per-stage self-times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialSummary {
+    /// Trial id from the trace context (the trial RNG seed), when the
+    /// span carried one.
+    pub trial: Option<u64>,
+    /// Wall time of the `pipeline.trial` span, nanoseconds.
+    pub run_ns: u64,
+    /// Per-stage self-times inside this trial, largest first.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Min/mean/max of one derived gauge over the stats time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSummary {
+    /// Gauge name (`shots_per_sec`, `decoder.cache_hit_rate`, ...).
+    pub name: String,
+    /// Number of samples in which the gauge appeared.
+    pub samples: u64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Mean over observed samples.
+    pub mean: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+/// Everything the `report` binary prints.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-stage totals across the run, largest first.
+    pub stages: Vec<StageBreakdown>,
+    /// Sum of all `pipeline.trial` span durations.
+    pub total_run_ns: u64,
+    /// All trials seen in the journal, slowest first.
+    pub trials: Vec<TrialSummary>,
+    /// Gauge summaries from the stats series, input order.
+    pub gauges: Vec<GaugeSummary>,
+    /// Number of stats records ingested.
+    pub stats_samples: u64,
+    /// `journal.dropped` from the final stats sample (0 when no stats
+    /// series was supplied). Non-zero means the breakdown is approximate.
+    pub journal_dropped: u64,
+}
+
+/// A begin/end frame being matched during replay.
+struct Frame {
+    name: String,
+    begin_ns: u64,
+    /// Time consumed by nested *tracked* spans (subtracted for self-time).
+    child_ns: u64,
+    /// Trace-context trial id captured at begin.
+    trial: Option<u64>,
+    /// Per-stage self-times accumulated inside this frame (trial frames
+    /// only).
+    stage_totals: Vec<(String, u64)>,
+}
+
+fn is_tracked(name: &str) -> bool {
+    name == TRIAL_SPAN || stage::Stage::from_metric_name(name).is_some()
+}
+
+fn bump(totals: &mut Vec<(String, u64)>, name: &str, ns: u64) {
+    match totals.iter_mut().find(|(n, _)| n == name) {
+        Some((_, t)) => *t += ns,
+        None => totals.push((name.to_string(), ns)),
+    }
+}
+
+/// Reconstructs the per-stage / per-trial breakdown from journal events
+/// and folds in the stats time series.
+pub fn analyze(events: &[OwnedEvent], stats: &[Value]) -> RunReport {
+    let mut events: Vec<&OwnedEvent> = events.iter().collect();
+    events.sort_by_key(|e| (e.tid, e.ts_ns));
+
+    let mut report = RunReport::default();
+    let mut stage_totals: Vec<(String, u64)> = Vec::new();
+    let mut stage_spans: Vec<(String, u64)> = Vec::new();
+
+    let mut tid: Option<u32> = None;
+    let mut stack: Vec<Frame> = Vec::new();
+    for e in events {
+        if tid != Some(e.tid) {
+            // Open frames from the previous thread never close: truncated.
+            stack.clear();
+            tid = Some(e.tid);
+        }
+        if !is_tracked(&e.name) {
+            continue;
+        }
+        match e.phase {
+            Phase::Begin => stack.push(Frame {
+                name: e.name.clone(),
+                begin_ns: e.ts_ns,
+                child_ns: 0,
+                trial: e.ctx.trial,
+                stage_totals: Vec::new(),
+            }),
+            Phase::End => {
+                let Some(pos) = stack.iter().rposition(|f| f.name == e.name) else {
+                    continue; // begin fell off the ring
+                };
+                let frame = stack.remove(pos);
+                let dur = e.ts_ns.saturating_sub(frame.begin_ns);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += dur;
+                }
+                if frame.name == TRIAL_SPAN {
+                    let mut stages = frame.stage_totals;
+                    stages.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                    report.total_run_ns += dur;
+                    report.trials.push(TrialSummary {
+                        trial: frame.trial,
+                        run_ns: dur,
+                        stages,
+                    });
+                } else {
+                    let self_ns = dur.saturating_sub(frame.child_ns);
+                    bump(&mut stage_totals, &frame.name, self_ns);
+                    bump(&mut stage_spans, &frame.name, 1);
+                    if let Some(trial) = stack.iter_mut().rev().find(|f| f.name == TRIAL_SPAN) {
+                        bump(&mut trial.stage_totals, &frame.name, self_ns);
+                    }
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+
+    report.stages = stage_totals
+        .into_iter()
+        .map(|(stage, total_ns)| {
+            let spans = stage_spans
+                .iter()
+                .find(|(n, _)| *n == stage)
+                .map_or(0, |&(_, c)| c);
+            StageBreakdown {
+                stage,
+                total_ns,
+                spans,
+            }
+        })
+        .collect();
+    report.stages.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then_with(|| a.stage.cmp(&b.stage))
+    });
+    report
+        .trials
+        .sort_by(|a, b| b.run_ns.cmp(&a.run_ns).then_with(|| a.trial.cmp(&b.trial)));
+
+    // Stats series: gauge curves and the final journal-drop count.
+    report.stats_samples = stats.len() as u64;
+    let mut gauges: Vec<GaugeSummary> = Vec::new();
+    for record in stats {
+        if let Some(fields) = record.get("gauges").and_then(Value::as_object) {
+            for (name, v) in fields {
+                let Some(x) = v.as_f64() else { continue };
+                match gauges.iter_mut().find(|g| g.name == *name) {
+                    Some(g) => {
+                        g.samples += 1;
+                        g.min = g.min.min(x);
+                        g.max = g.max.max(x);
+                        g.mean += x; // sum for now; divided below
+                    }
+                    None => gauges.push(GaugeSummary {
+                        name: name.clone(),
+                        samples: 1,
+                        min: x,
+                        mean: x,
+                        max: x,
+                    }),
+                }
+            }
+        }
+    }
+    for g in &mut gauges {
+        g.mean /= g.samples as f64;
+    }
+    report.gauges = gauges;
+    report.journal_dropped = stats
+        .last()
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get("journal.dropped"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    report
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+impl RunReport {
+    /// Markdown rendering (the `report` binary's default output). `top_k`
+    /// bounds the slowest-trials table.
+    pub fn render_markdown(&self, top_k: usize) -> String {
+        let mut out = String::from("# surfnet run report\n\n");
+        out.push_str(&format!(
+            "- trials: {} (total {})\n- stats samples: {}\n",
+            self.trials.len(),
+            ms(self.total_run_ns),
+            self.stats_samples
+        ));
+        if self.journal_dropped > 0 {
+            out.push_str(&format!(
+                "- **WARNING**: journal dropped {} events — stage totals are approximate\n",
+                self.journal_dropped
+            ));
+        }
+
+        out.push_str("\n## Per-stage critical path\n\n");
+        if self.stages.is_empty() {
+            out.push_str("no stage spans in the journal (was `SURFNET_TRACE` set?)\n");
+        } else {
+            out.push_str("| stage | total | share | spans |\n|---|---|---|---|\n");
+            let denom = self.total_run_ns.max(1) as f64;
+            let mut attributed = 0u64;
+            for s in &self.stages {
+                attributed += s.total_ns;
+                out.push_str(&format!(
+                    "| {} | {} | {:.1}% | {} |\n",
+                    s.stage,
+                    ms(s.total_ns),
+                    s.total_ns as f64 * 100.0 / denom,
+                    s.spans
+                ));
+            }
+            let other = self.total_run_ns.saturating_sub(attributed);
+            if self.total_run_ns > 0 {
+                out.push_str(&format!(
+                    "| (unattributed) | {} | {:.1}% | |\n",
+                    ms(other),
+                    other as f64 * 100.0 / denom
+                ));
+            }
+        }
+
+        out.push_str(&format!("\n## Top {top_k} slowest trials\n\n"));
+        if self.trials.is_empty() {
+            out.push_str("no `pipeline.trial` spans in the journal\n");
+        } else {
+            out.push_str("| trial | run | top stages |\n|---|---|---|\n");
+            for t in self.trials.iter().take(top_k) {
+                let label = t
+                    .trial
+                    .map(|id| id.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let stages: Vec<String> = t
+                    .stages
+                    .iter()
+                    .take(3)
+                    .map(|(name, ns)| {
+                        let short = name.strip_prefix("trial.stage.").unwrap_or(name);
+                        format!("{short} {}", ms(*ns))
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "| {label} | {} | {} |\n",
+                    ms(t.run_ns),
+                    stages.join(", ")
+                ));
+            }
+        }
+
+        out.push_str("\n## Rate curves\n\n");
+        if self.gauges.is_empty() {
+            out.push_str("no gauges in the stats series (was `SURFNET_STATS` set?)\n");
+        } else {
+            out.push_str("| gauge | samples | min | mean | max |\n|---|---|---|---|---|\n");
+            for g in &self.gauges {
+                out.push_str(&format!(
+                    "| {} | {} | {:.3} | {:.3} | {:.3} |\n",
+                    g.name, g.samples, g.min, g.mean, g.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (`report --json`), schema [`SCHEMA`].
+    pub fn to_json(&self, top_k: usize) -> Value {
+        let stages: Value = self
+            .stages
+            .iter()
+            .map(|s| {
+                json::obj(vec![
+                    ("stage", Value::from(s.stage.as_str())),
+                    ("total_ns", Value::from(s.total_ns)),
+                    ("spans", Value::from(s.spans)),
+                ])
+            })
+            .collect();
+        let trials: Value = self
+            .trials
+            .iter()
+            .take(top_k)
+            .map(|t| {
+                let per_stage = Value::Obj(
+                    t.stages
+                        .iter()
+                        .map(|(name, ns)| (name.clone(), Value::from(*ns)))
+                        .collect(),
+                );
+                json::obj(vec![
+                    ("trial", t.trial.map(Value::from).unwrap_or(Value::Null)),
+                    ("run_ns", Value::from(t.run_ns)),
+                    ("stages", per_stage),
+                ])
+            })
+            .collect();
+        let gauges: Value = self
+            .gauges
+            .iter()
+            .map(|g| {
+                json::obj(vec![
+                    ("name", Value::from(g.name.as_str())),
+                    ("samples", Value::from(g.samples)),
+                    ("min", Value::Num(g.min)),
+                    ("mean", Value::Num(g.mean)),
+                    ("max", Value::Num(g.max)),
+                ])
+            })
+            .collect();
+        json::obj(vec![
+            ("schema", Value::from(SCHEMA)),
+            ("trial_count", Value::from(self.trials.len())),
+            ("total_run_ns", Value::from(self.total_run_ns)),
+            ("journal_dropped", Value::from(self.journal_dropped)),
+            ("stats_samples", Value::from(self.stats_samples)),
+            ("stages", stages),
+            ("slowest_trials", trials),
+            ("gauges", gauges),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfnet_telemetry::trace::TraceCtx;
+
+    fn ev(ts_ns: u64, tid: u32, name: &str, phase: Phase, trial: Option<u64>) -> OwnedEvent {
+        OwnedEvent {
+            ts_ns,
+            tid,
+            name: name.to_string(),
+            phase,
+            arg: None,
+            ctx: TraceCtx {
+                trial,
+                request: None,
+                segment: None,
+            },
+        }
+    }
+
+    /// Two trials on one thread; trial 2 nests Lp inside Route, so Route's
+    /// self-time must exclude the Lp interval.
+    fn sample_events() -> Vec<OwnedEvent> {
+        use Phase::{Begin, End};
+        vec![
+            ev(0, 1, TRIAL_SPAN, Begin, Some(10)),
+            ev(100, 1, "trial.stage.gen", Begin, Some(10)),
+            ev(400, 1, "trial.stage.gen", End, Some(10)),
+            ev(500, 1, "trial.stage.decode", Begin, Some(10)),
+            ev(1500, 1, "trial.stage.decode", End, Some(10)),
+            ev(2000, 1, TRIAL_SPAN, End, Some(10)),
+            ev(3000, 1, TRIAL_SPAN, Begin, Some(11)),
+            ev(3100, 1, "trial.stage.route", Begin, Some(11)),
+            ev(3200, 1, "trial.stage.lp", Begin, Some(11)),
+            ev(3700, 1, "trial.stage.lp", End, Some(11)),
+            ev(3900, 1, "trial.stage.route", End, Some(11)),
+            ev(8000, 1, TRIAL_SPAN, End, Some(11)),
+        ]
+    }
+
+    #[test]
+    fn breakdown_reconstructs_self_times_and_trials() {
+        let report = analyze(&sample_events(), &[]);
+        assert_eq!(report.trials.len(), 2);
+        assert_eq!(report.total_run_ns, 2000 + 5000);
+        // Slowest first: trial 11 (5000ns) before trial 10 (2000ns).
+        assert_eq!(report.trials[0].trial, Some(11));
+        assert_eq!(report.trials[0].run_ns, 5000);
+        assert_eq!(report.trials[1].trial, Some(10));
+        // Route's self-time excludes the nested Lp interval: 800 - 500.
+        let stage = |name: &str| {
+            report
+                .stages
+                .iter()
+                .find(|s| s.stage == name)
+                .map(|s| s.total_ns)
+        };
+        assert_eq!(stage("trial.stage.route"), Some(300));
+        assert_eq!(stage("trial.stage.lp"), Some(500));
+        assert_eq!(stage("trial.stage.gen"), Some(300));
+        assert_eq!(stage("trial.stage.decode"), Some(1000));
+        // Largest first.
+        assert_eq!(report.stages[0].stage, "trial.stage.decode");
+        // Per-trial attribution.
+        let t11 = &report.trials[0];
+        assert!(t11
+            .stages
+            .iter()
+            .any(|(n, ns)| n == "trial.stage.lp" && *ns == 500));
+        assert!(t11
+            .stages
+            .iter()
+            .any(|(n, ns)| n == "trial.stage.route" && *ns == 300));
+    }
+
+    #[test]
+    fn truncated_spans_are_dropped_not_misattributed() {
+        use Phase::{Begin, End};
+        // An End with no Begin (fell off the ring) and a Begin with no End.
+        let events = vec![
+            ev(100, 1, "trial.stage.decode", End, Some(1)),
+            ev(200, 1, TRIAL_SPAN, Begin, Some(2)),
+            ev(300, 1, "trial.stage.gen", Begin, Some(2)),
+        ];
+        let report = analyze(&events, &[]);
+        assert!(report.trials.is_empty());
+        assert!(report.stages.is_empty());
+    }
+
+    #[test]
+    fn gauges_and_drop_count_come_from_stats() {
+        let stats = vec![
+            Value::parse(
+                r#"{"schema":"surfnet-stats/v1","t_ms":500,
+                   "counters":{"journal.dropped":0},
+                   "gauges":{"shots_per_sec":100.0}}"#,
+            )
+            .unwrap(),
+            Value::parse(
+                r#"{"schema":"surfnet-stats/v1","t_ms":1000,
+                   "counters":{"journal.dropped":7},
+                   "gauges":{"shots_per_sec":300.0,"decoder.cache_hit_rate":0.5}}"#,
+            )
+            .unwrap(),
+        ];
+        let report = analyze(&[], &stats);
+        assert_eq!(report.stats_samples, 2);
+        assert_eq!(report.journal_dropped, 7);
+        let sps = report
+            .gauges
+            .iter()
+            .find(|g| g.name == "shots_per_sec")
+            .unwrap();
+        assert_eq!(sps.samples, 2);
+        assert_eq!(sps.min, 100.0);
+        assert_eq!(sps.mean, 200.0);
+        assert_eq!(sps.max, 300.0);
+        let markdown = report.render_markdown(5);
+        assert!(markdown.contains("WARNING"), "{markdown}");
+        assert!(markdown.contains("journal dropped 7 events"), "{markdown}");
+    }
+
+    #[test]
+    fn renderings_are_deterministic_and_json_round_trips() {
+        let stats = vec![Value::parse(
+            r#"{"schema":"surfnet-stats/v1","t_ms":500,
+               "counters":{},"gauges":{"shots_per_sec":50.0}}"#,
+        )
+        .unwrap()];
+        let a = analyze(&sample_events(), &stats);
+        let b = analyze(&sample_events(), &stats);
+        assert_eq!(a.render_markdown(3), b.render_markdown(3));
+        assert_eq!(a.to_json(3).to_string(), b.to_json(3).to_string());
+        let v = a.to_json(3);
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            Value::parse(&v.to_string()).unwrap().to_string(),
+            v.to_string()
+        );
+        // Markdown has the two trials and the stage table.
+        let md = a.render_markdown(3);
+        assert!(md.contains("| trial.stage.decode |"), "{md}");
+        assert!(md.contains("| 11 |"), "{md}");
+        assert!(md.contains("shots_per_sec"), "{md}");
+    }
+}

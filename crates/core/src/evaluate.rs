@@ -281,6 +281,7 @@ impl DecoderCache {
         }
         let mut ok = true;
         for (idx, segment) in outcome.segments.iter().enumerate() {
+            let _seg = surfnet_telemetry::trace::segment_scope(idx as u64);
             let i = self.entry_index(code, partition, segment, decoder)?;
             let DecoderCache {
                 entries, workspace, ..
@@ -347,7 +348,11 @@ impl DecoderCache {
             }
             return outcomes
                 .iter()
-                .map(|o| self.evaluate_transfer(code, partition, o, decoder, rng))
+                .enumerate()
+                .map(|(t, o)| {
+                    let _req = surfnet_telemetry::trace::request_scope(t as u64);
+                    self.evaluate_transfer(code, partition, o, decoder, rng)
+                })
                 .collect();
         }
         let mut verdicts: Vec<bool> = outcomes.iter().map(|o| o.completed).collect();
@@ -359,7 +364,9 @@ impl DecoderCache {
             if !outcome.completed {
                 continue;
             }
-            for segment in &outcome.segments {
+            let _req = surfnet_telemetry::trace::request_scope(t as u64);
+            for (idx, segment) in outcome.segments.iter().enumerate() {
+                let _seg = surfnet_telemetry::trace::segment_scope(idx as u64);
                 let i = self.entry_index(code, partition, segment, decoder)?;
                 if accums.len() < self.entries.len() {
                     accums.resize_with(self.entries.len(), BatchAccum::default);
@@ -416,6 +423,10 @@ impl DecoderCache {
         for (lane, result) in outcomes.iter().enumerate() {
             debug_assert!(result.syndrome_cleared);
             if !result.is_success() {
+                // A flush mixes lanes from many transfers; stamp the event
+                // with the failing lane's own transfer, not whichever
+                // transfer happened to trigger the flush.
+                let _req = surfnet_telemetry::trace::request_scope(acc.transfers[lane] as u64);
                 surfnet_telemetry::event!("evaluate.shot_failed");
                 verdicts[acc.transfers[lane]] = false;
             }

@@ -379,9 +379,136 @@ fn journal_tail() -> Value {
             if let Some(arg) = e.arg {
                 fields.push(("arg", Value::from(arg)));
             }
+            if let Some(trial) = e.ctx.trial {
+                fields.push(("trial", Value::from(trial)));
+            }
+            if let Some(req) = e.ctx.request {
+                fields.push(("req", Value::from(req)));
+            }
+            if let Some(seg) = e.ctx.segment {
+                fields.push(("seg", Value::from(seg)));
+            }
             json::obj(fields)
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Journal-tail timeline.
+
+/// Renders the `journal_tail` of a flight artifact as an indented span
+/// timeline: matched begin/end pairs become spans with durations, instants
+/// are printed at their nesting depth, and trace-context ids (trial /
+/// request / segment) are annotated where recorded. Timestamps are relative
+/// to the first event in the tail.
+///
+/// Returns `None` when the artifact has no journal tail (journal disabled
+/// during capture) or the tail is empty.
+///
+/// # Errors
+///
+/// Returns a message when the tail is present but malformed (missing
+/// `ts_ns`/`name`/`phase`).
+pub fn render_journal_timeline(artifact: &Value) -> Result<Option<String>, String> {
+    let Some(tail) = artifact.get("journal_tail") else {
+        return Ok(None);
+    };
+    let entries = tail
+        .as_array()
+        .ok_or("field `journal_tail` is not an array")?;
+    if entries.is_empty() {
+        return Ok(None);
+    }
+
+    struct Entry {
+        ts_ns: u64,
+        name: String,
+        phase: char,
+        ctx: String,
+    }
+    let mut events = Vec::with_capacity(entries.len());
+    for e in entries {
+        let ts_ns = field(e, "ts_ns")?
+            .as_u64()
+            .ok_or("journal_tail `ts_ns` is not an integer")?;
+        let name = str_field(e, "name")?;
+        let phase = str_field(e, "phase")?
+            .chars()
+            .next()
+            .ok_or("journal_tail `phase` is empty")?;
+        let mut ctx = String::new();
+        for (key, label) in [("trial", "trial"), ("req", "req"), ("seg", "seg")] {
+            if let Some(v) = e.get(key).and_then(Value::as_u64) {
+                if !ctx.is_empty() {
+                    ctx.push(' ');
+                }
+                ctx.push_str(&format!("{label}={v}"));
+            }
+        }
+        events.push(Entry {
+            ts_ns,
+            name,
+            phase,
+            ctx,
+        });
+    }
+    events.sort_by_key(|e| e.ts_ns);
+    let t0 = events[0].ts_ns;
+
+    // First pass: match begin/end pairs so spans print with durations.
+    let mut durations: Vec<Option<u64>> = vec![None; events.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.phase {
+            'B' => stack.push(i),
+            'E' => {
+                // Pop to the innermost open span with this name; spans that
+                // never see their end (tail truncation) stay open.
+                if let Some(pos) = stack.iter().rposition(|&b| events[b].name == e.name) {
+                    let begin = stack.remove(pos);
+                    durations[begin] = Some(e.ts_ns.saturating_sub(events[begin].ts_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::from("journal tail timeline (capturing thread):\n");
+    let mut depth = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let rel = format!("+{:.3}ms", ms(e.ts_ns - t0));
+        let ctx = if e.ctx.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", e.ctx)
+        };
+        match e.phase {
+            'B' => {
+                let dur = match durations[i] {
+                    Some(d) => format!("{:.3}ms", ms(d)),
+                    None => "(open)".to_string(),
+                };
+                out.push_str(&format!(
+                    "  {rel:>12}  {:indent$}{} {dur}{ctx}\n",
+                    "",
+                    e.name,
+                    indent = depth * 2
+                ));
+                depth += 1;
+            }
+            'E' => depth = depth.saturating_sub(1),
+            _ => {
+                out.push_str(&format!(
+                    "  {rel:>12}  {:indent$}! {}{ctx}\n",
+                    "",
+                    e.name,
+                    indent = depth * 2
+                ));
+            }
+        }
+    }
+    Ok(Some(out))
 }
 
 /// Human-readable text of a caught panic payload.
@@ -895,6 +1022,55 @@ mod tests {
         let wrong = Value::parse(r#"{"schema":"surfnet-flight/v99"}"#).unwrap();
         assert!(replay_artifact(&wrong).unwrap_err().contains("v99"));
         assert!(parse_pauli_string("IXQZ").is_err());
+    }
+
+    #[test]
+    fn timeline_renders_spans_instants_and_context() {
+        let artifact = Value::parse(
+            r#"{
+              "journal_tail": [
+                {"ts_ns": 1000, "tid": 7, "name": "pipeline.trial", "phase": "B", "trial": 42},
+                {"ts_ns": 2000, "tid": 7, "name": "trial.stage.decode", "phase": "B", "trial": 42, "req": 3},
+                {"ts_ns": 2500, "tid": 7, "name": "evaluate.shot_failed", "phase": "I", "trial": 42, "req": 3, "seg": 1},
+                {"ts_ns": 4000, "tid": 7, "name": "trial.stage.decode", "phase": "E", "trial": 42},
+                {"ts_ns": 9000, "tid": 7, "name": "pipeline.trial", "phase": "E", "trial": 42}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let text = render_journal_timeline(&artifact)
+            .expect("well-formed tail")
+            .expect("non-empty tail");
+        // Spans carry durations; the instant is nested and annotated.
+        assert!(text.contains("pipeline.trial 0.008ms"), "{text}");
+        assert!(text.contains("trial.stage.decode 0.002ms"), "{text}");
+        assert!(text.contains("! evaluate.shot_failed"), "{text}");
+        assert!(text.contains("[trial=42 req=3 seg=1]"), "{text}");
+        // Nesting: the stage span is indented under the trial span.
+        let trial_line = text.lines().find(|l| l.contains("pipeline.trial")).unwrap();
+        let stage_line = text
+            .lines()
+            .find(|l| l.contains("trial.stage.decode"))
+            .unwrap();
+        // Same fixed-width timestamp column, so name position reflects depth.
+        assert!(
+            stage_line.find("trial.stage.decode").unwrap()
+                > trial_line.find("pipeline.trial").unwrap(),
+            "{text}"
+        );
+
+        // Absent or empty tails render as None.
+        assert!(render_journal_timeline(&Value::parse("{}").unwrap())
+            .unwrap()
+            .is_none());
+        assert!(
+            render_journal_timeline(&Value::parse(r#"{"journal_tail": []}"#).unwrap())
+                .unwrap()
+                .is_none()
+        );
+        // Malformed tails error.
+        let bad = Value::parse(r#"{"journal_tail": [{"tid": 1}]}"#).unwrap();
+        assert!(render_journal_timeline(&bad).is_err());
     }
 
     #[test]

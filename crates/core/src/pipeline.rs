@@ -109,6 +109,11 @@ pub fn run_trial(
     cfg: &TrialConfig,
     seed: u64,
 ) -> Result<TrialMetrics, PipelineError> {
+    // The trace context stamps every journal record of this trial with its
+    // seed; the stage scope accumulates per-stage self-times and records
+    // them as one `trial.stage.*` sample each when the trial ends.
+    let _trace = surfnet_telemetry::trace::trial_scope(seed);
+    let _stages = surfnet_telemetry::stage::trial_scope();
     surfnet_telemetry::event!(begin "pipeline.trial");
     let _flight = flight::seed_scope(seed);
     let result = run_trial_seeded(design, cfg, seed);
@@ -124,6 +129,7 @@ fn run_trial_seeded(
     let mut rng = SmallRng::seed_from_u64(seed);
     let net = {
         let _span = surfnet_telemetry::span!("pipeline.network_gen");
+        let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Gen);
         let mut net = barabasi_albert(&cfg.scenario.network_config(), &mut rng)?;
         // Sweep scales (Fig. 6(b.1)/(b.2)) perturb the generated network.
         if cfg.capacity_scale != 1.0 {
@@ -143,6 +149,7 @@ fn run_trial_seeded(
     };
     let requests = {
         let _span = surfnet_telemetry::span!("pipeline.requests");
+        let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Gen);
         random_requests(&net, cfg.num_requests, cfg.max_codes_per_request, &mut rng)
     };
     run_trial_on(design, cfg, &net, &requests, &mut rng)
@@ -165,11 +172,17 @@ pub fn run_trial_on<R: Rng + ?Sized>(
     let requested: u32 = requests.iter().map(|r| r.num_codes).sum();
     match design {
         Design::SurfNet | Design::Raw => {
-            let code = SurfaceCode::new(cfg.code_distance)?;
-            let partition = code.core_partition(CoreTopology::Cross);
+            let (code, partition) = {
+                let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Gen);
+                let code = SurfaceCode::new(cfg.code_distance)?;
+                let partition = code.core_partition(CoreTopology::Cross);
+                (code, partition)
+            };
             let params = params_for_partition(&cfg.params, &partition);
             let schedule = {
                 let _span = surfnet_telemetry::span!("pipeline.schedule");
+                let _stage =
+                    surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Route);
                 match design {
                     Design::SurfNet => SurfNetScheduler::new(params).schedule(net, requests)?,
                     Design::Raw => RawScheduler::new(params).schedule(net, requests)?,
@@ -195,6 +208,7 @@ pub fn run_trial_on<R: Rng + ?Sized>(
                 }
             };
             let _span = surfnet_telemetry::span!("pipeline.evaluate");
+            let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Decode);
             // One decoder cache + workspace (+ batch scratch) for the whole
             // trial: identical segment signatures reuse one constructed
             // decoder, every shot reuses the same buffers. The batch config
@@ -227,13 +241,16 @@ pub fn run_trial_on<R: Rng + ?Sized>(
         Design::Purification(n) => {
             let schedule = {
                 let _span = surfnet_telemetry::span!("pipeline.schedule");
+                let _stage =
+                    surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Route);
                 PurificationScheduler::new(n).schedule(net, requests)?
             };
             let _span = surfnet_telemetry::span!("pipeline.execute");
             let mut executed = 0u32;
             let mut fidelity_sum = 0.0f64;
             let mut latency_sum = 0u64;
-            for assignment in &schedule.assignments {
+            for (t, assignment) in schedule.assignments.iter().enumerate() {
+                let _req = surfnet_telemetry::trace::request_scope(t as u64);
                 let outcome = execute_teleportation(net, &assignment.route, n, &cfg.execution, rng);
                 if !outcome.completed {
                     continue;

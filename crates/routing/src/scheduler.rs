@@ -159,6 +159,7 @@ pub fn assign_codes(
             if schedule.scheduled_per_request[k] >= quotas[k] {
                 continue;
             }
+            let _req = surfnet_telemetry::trace::request_scope(k as u64);
             let Some((route, plan, x)) = find_feasible_code(net, &residual, req, params, mode)
             else {
                 surfnet_telemetry::count!("routing.infeasible_attempts");

@@ -46,6 +46,7 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("evaluate.shot_failed", MetricKind::Event),
     ("flight.capture", MetricKind::Event),
     ("flight.captured", MetricKind::Counter),
+    ("journal.dropped", MetricKind::Counter),
     ("lp.iterations", MetricKind::Counter),
     ("lp.pivots", MetricKind::Counter),
     ("lp.solve", MetricKind::Timer),
@@ -67,6 +68,13 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("routing.schedule", MetricKind::Timer),
     ("runner.trial_failures", MetricKind::Counter),
     ("telemetry.dropped", MetricKind::Counter),
+    ("trial.run", MetricKind::Timer),
+    ("trial.stage.decode", MetricKind::Timer),
+    ("trial.stage.entangle", MetricKind::Timer),
+    ("trial.stage.gen", MetricKind::Timer),
+    ("trial.stage.lp", MetricKind::Timer),
+    ("trial.stage.purify", MetricKind::Timer),
+    ("trial.stage.route", MetricKind::Timer),
 ];
 
 /// Looks up a metric name, returning its registered kind.
@@ -103,6 +111,9 @@ mod tests {
         assert_eq!(lookup("lp.solves"), Some(MetricKind::Counter));
         assert_eq!(lookup("flight.capture"), Some(MetricKind::Event));
         assert_eq!(lookup("telemetry.dropped"), Some(MetricKind::Counter));
+        assert_eq!(lookup("journal.dropped"), Some(MetricKind::Counter));
+        assert_eq!(lookup("trial.run"), Some(MetricKind::Timer));
+        assert_eq!(lookup("trial.stage.decode"), Some(MetricKind::Timer));
         assert_eq!(lookup("no.such.metric"), None);
     }
 }

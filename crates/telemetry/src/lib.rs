@@ -49,6 +49,9 @@ pub mod catalog;
 pub mod hist;
 pub mod journal;
 pub mod json;
+pub mod stage;
+pub mod stats;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -644,8 +647,11 @@ pub fn snapshot() -> Snapshot {
             }
         }
     }
-    // Surface budget exhaustion in every export, even though no call site
-    // registers this name: dropped series are invisible by definition.
+    // Surface losses in every export, even though no call site registers
+    // these names: dropped series and evicted journal events are invisible
+    // by definition.
+    snap.counters
+        .push(("journal.dropped".to_string(), journal::dropped_events()));
     snap.counters
         .push(("telemetry.dropped".to_string(), dropped_metrics()));
     snap
@@ -794,6 +800,14 @@ pub fn render_json(snap: &Snapshot) -> String {
     out
 }
 
+/// Serializes tests (across this crate's modules) that flip the
+/// process-global telemetry state.
+#[cfg(test)]
+pub(crate) fn telemetry_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,8 +815,7 @@ mod tests {
     // Telemetry state is process-global, so every test here runs under one
     // lock to avoid cross-test interference.
     fn with_isolated<R>(f: impl FnOnce() -> R) -> R {
-        static GUARD: Mutex<()> = Mutex::new(());
-        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        let _g = telemetry_test_guard();
         reset();
         let _t = Telemetry::enabled();
         let r = f();
