@@ -1,0 +1,435 @@
+//! Workspace symbol index: the cross-file half of the analyzer.
+//!
+//! The per-file scanner cannot see that a closure calls a helper defined
+//! two crates away which ends up recording telemetry. This module builds
+//! that view from the already-lexed token streams — still hand-rolled, no
+//! external parser: `fn` definitions with their body extents, the call
+//! names appearing inside each body, `use` edges between crates, and a
+//! transitive "records telemetry" set computed as a fixpoint over the call
+//! graph.
+//!
+//! Resolution is by bare function name (the last path segment at a call
+//! site), which deliberately over-approximates: a call `helper()` marks the
+//! caller as recording if *any* `fn helper` in the workspace records. For
+//! lint purposes a conservative over-approximation is the right trade —
+//! false positives are visible and allow-annotatable, false negatives are
+//! silent dropped-shard bugs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One `fn` definition found in the workspace.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Crate the definition lives in (`SourceFile::crate_name`).
+    pub crate_name: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the body itself records telemetry (macro or direct call).
+    pub records_directly: bool,
+    /// Whether the body calls `flush()` / `flush_thread()`.
+    pub calls_flush: bool,
+    /// Bare names of everything the body calls (functions, methods, and
+    /// final path segments).
+    pub calls: BTreeSet<String>,
+}
+
+/// One `use` declaration, reduced to its root path segment.
+#[derive(Debug)]
+pub struct UseEdge {
+    /// Crate containing the `use` (`SourceFile::crate_name`).
+    pub from_crate: String,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// Root segment of the imported path (`surfnet_telemetry`, `std`, ...).
+    pub target: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// Cross-file symbol index over a set of scanned [`SourceFile`]s.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Every `fn` definition, in file order.
+    pub fns: Vec<FnDef>,
+    /// Every `use` edge, in file order.
+    pub uses: Vec<UseEdge>,
+    /// `fns` indices grouped by bare name.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Bare names of functions that record telemetry, directly or through
+    /// any chain of calls (fixpoint over the call graph).
+    recorders: BTreeSet<String>,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index over `files` in one pass plus a fixpoint.
+    pub fn build(files: &[SourceFile]) -> WorkspaceIndex {
+        let mut index = WorkspaceIndex::default();
+        for file in files {
+            collect_fns(file, &mut index.fns);
+            collect_uses(file, &mut index.uses);
+        }
+        for (i, def) in index.fns.iter().enumerate() {
+            index.by_name.entry(def.name.clone()).or_default().push(i);
+        }
+        // Fixpoint: a function records if its body does, or if it calls any
+        // function already known to record. Name-level resolution makes the
+        // set monotone, so iteration terminates at the first stable pass.
+        let mut recorders: BTreeSet<String> = index
+            .fns
+            .iter()
+            .filter(|d| d.records_directly)
+            .map(|d| d.name.clone())
+            .collect();
+        loop {
+            let before = recorders.len();
+            for def in &index.fns {
+                if !recorders.contains(&def.name) && def.calls.iter().any(|c| recorders.contains(c))
+                {
+                    recorders.insert(def.name.clone());
+                }
+            }
+            if recorders.len() == before {
+                break;
+            }
+        }
+        index.recorders = recorders;
+        index
+    }
+
+    /// Definitions of `name`, across all crates.
+    pub fn fns_named(&self, name: &str) -> impl Iterator<Item = &FnDef> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.fns[i])
+    }
+
+    /// Whether `name` is a function that records telemetry, directly or
+    /// transitively.
+    pub fn is_recorder(&self, name: &str) -> bool {
+        self.recorders.contains(name)
+    }
+
+    /// Root `use` targets imported anywhere in `crate_name`, excluding the
+    /// language/std roots and relative path heads.
+    pub fn crate_uses(&self, crate_name: &str) -> BTreeSet<&str> {
+        const LOCAL: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+        self.uses
+            .iter()
+            .filter(|u| u.from_crate == crate_name)
+            .map(|u| u.target.as_str())
+            .filter(|t| !LOCAL.contains(t))
+            .collect()
+    }
+
+    /// Whether a token slice (typically a closure body) records telemetry:
+    /// a direct recording marker, or a call to any known recorder.
+    pub fn slice_records_telemetry(&self, tokens: &[Token]) -> bool {
+        if slice_records_directly(tokens) {
+            return true;
+        }
+        called_names(tokens).any(|name| self.recorders.contains(name))
+    }
+}
+
+/// Whether a token slice calls `flush()` or `flush_thread()` (any path).
+pub fn slice_calls_flush(tokens: &[Token]) -> bool {
+    tokens.windows(2).any(|w| {
+        w[0].kind == TokenKind::Ident
+            && (w[0].text == "flush" || w[0].text == "flush_thread")
+            && w[1].kind == TokenKind::Punct
+            && w[1].text == "("
+    })
+}
+
+/// Direct recording markers: the `count!`/`span!`/`event!` macros, the
+/// `counter("...")`/`timer("...")` handle constructors, the
+/// `record_ns`/`incr`/`add` handle methods, and `journal::record`.
+fn slice_records_directly(tokens: &[Token]) -> bool {
+    let id = |t: &Token, s: &str| t.kind == TokenKind::Ident && t.text == s;
+    let punct = |t: &Token, s: &str| t.kind == TokenKind::Punct && t.text == s;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| tokens.get(i + 1).is_some_and(|a| punct(a, s));
+        match t.text.as_str() {
+            "count" | "span" | "event" if next_is("!") => return true,
+            "counter" | "timer" if next_is("(") => return true,
+            "record_ns" | "incr" if next_is("(") => return true,
+            "record"
+                if next_is("(")
+                    && i >= 3
+                    && id(&tokens[i - 3], "journal")
+                    && punct(&tokens[i - 2], ":")
+                    && punct(&tokens[i - 1], ":") =>
+            {
+                return true
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Rust keywords that read like calls at a token level (`if (`, `while (`,
+/// `match (`...) and must not enter the call graph.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "loop", "match", "return", "break", "continue", "fn",
+    "let", "move", "mut", "ref", "unsafe", "as", "where", "impl", "dyn", "Some", "None", "Ok",
+    "Err", "Box",
+];
+
+/// Bare names of everything a token slice calls: `name(`, `.name(`, and
+/// `path::name(` all yield `name`.
+fn called_names(tokens: &[Token]) -> impl Iterator<Item = &str> {
+    tokens.windows(2).filter_map(|w| {
+        let (t, next) = (&w[0], &w[1]);
+        let is_call = t.kind == TokenKind::Ident
+            && next.kind == TokenKind::Punct
+            && next.text == "("
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str());
+        is_call.then_some(t.text.as_str())
+    })
+}
+
+/// Scans `file` for `fn` definitions and appends them to `out`.
+fn collect_fns(file: &SourceFile, out: &mut Vec<FnDef>) {
+    let ts = &file.tokens;
+    let mut i = 0usize;
+    while i < ts.len() {
+        let t = &ts[i];
+        if !(t.kind == TokenKind::Ident && t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` in a function-pointer type (`fn(u8) -> u8`) has no name.
+        let Some(name_tok) = ts.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // The signature runs to the body `{` or a terminating `;` (trait
+        // method declarations, extern fns). Generic params and where
+        // clauses contain no braces, so the first `{` opens the body.
+        let mut j = i + 2;
+        let mut body = None;
+        while let Some(tok) = ts.get(j) {
+            if tok.kind == TokenKind::Punct {
+                if tok.text == "{" {
+                    let end = match_brace(ts, j);
+                    body = Some((j + 1, end));
+                    break;
+                }
+                if tok.text == ";" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let (records_directly, calls_flush, calls) = match body {
+            Some((start, end)) => {
+                let slice = &ts[start..end.min(ts.len())];
+                (
+                    slice_records_directly(slice),
+                    slice_calls_flush(slice),
+                    called_names(slice).map(str::to_string).collect(),
+                )
+            }
+            None => (false, false, BTreeSet::new()),
+        };
+        out.push(FnDef {
+            name: name_tok.text.clone(),
+            crate_name: file.crate_name.clone(),
+            path: file.path.clone(),
+            line: t.line,
+            records_directly,
+            calls_flush,
+            calls,
+        });
+        i += 2;
+    }
+}
+
+/// Scans `file` for `use` declarations and appends their root segments.
+fn collect_uses(file: &SourceFile, out: &mut Vec<UseEdge>) {
+    let ts = &file.tokens;
+    for (i, t) in ts.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "use") {
+            continue;
+        }
+        // `use` must start a declaration, not appear mid-expression; the
+        // previous token (if any) ends a statement or block, or is a
+        // visibility modifier (`pub use`, `pub(crate) use`).
+        if let Some(prev) = i.checked_sub(1).and_then(|p| ts.get(p)) {
+            let ends_item = (prev.kind == TokenKind::Punct
+                && matches!(prev.text.as_str(), ";" | "{" | "}" | "]" | ")"))
+                || (prev.kind == TokenKind::Ident && prev.text == "pub");
+            if !ends_item {
+                continue;
+            }
+        }
+        // Root segment: skip a leading `::`.
+        let mut j = i + 1;
+        while ts
+            .get(j)
+            .is_some_and(|a| a.kind == TokenKind::Punct && a.text == ":")
+        {
+            j += 1;
+        }
+        if let Some(root) = ts.get(j).filter(|a| a.kind == TokenKind::Ident) {
+            out.push(UseEdge {
+                from_crate: file.crate_name.clone(),
+                path: file.path.clone(),
+                target: root.text.clone(),
+                line: t.line,
+            });
+        }
+    }
+}
+
+/// Index of the token after the `}` matching the `{` at `open`.
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    debug_assert!(tokens[open].kind == TokenKind::Punct && tokens[open].text == "{");
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == TokenKind::Punct {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the token after the `)` matching the `(` at `open`.
+pub fn match_paren(tokens: &[Token], open: usize) -> usize {
+    debug_assert!(tokens[open].kind == TokenKind::Punct && tokens[open].text == "(");
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == TokenKind::Punct {
+            match tokens[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic two-crate layout: `alpha` defines a recording helper,
+    /// `beta` calls it through an intermediate hop.
+    fn two_crate_files() -> Vec<SourceFile> {
+        let alpha = r#"
+use surfnet_telemetry::count;
+
+pub fn record_trial() {
+    surfnet_telemetry::count!("decoder.growth_rounds");
+}
+
+pub fn quiet_math(x: u64) -> u64 { x + 1 }
+"#;
+        let beta = r#"
+use alpha::record_trial;
+
+pub fn hop() { record_trial(); }
+
+pub fn driver() { hop(); }
+
+pub fn bystander() { quiet_math(3); }
+"#;
+        vec![
+            SourceFile::parse("crates/alpha/src/lib.rs", alpha),
+            SourceFile::parse("crates/beta/src/lib.rs", beta),
+        ]
+    }
+
+    #[test]
+    fn fn_defs_and_use_edges_indexed() {
+        let files = two_crate_files();
+        let index = WorkspaceIndex::build(&files);
+        let names: Vec<&str> = index.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["record_trial", "quiet_math", "hop", "driver", "bystander"]
+        );
+        let alpha_fn = index.fns_named("record_trial").next().expect("indexed");
+        assert_eq!(alpha_fn.crate_name, "alpha");
+        assert!(alpha_fn.records_directly);
+        assert!(index.crate_uses("alpha").contains("surfnet_telemetry"));
+        assert!(index.crate_uses("beta").contains("alpha"));
+        assert!(!index.crate_uses("beta").contains("surfnet_telemetry"));
+    }
+
+    #[test]
+    fn transitive_recorders_reach_fixpoint_across_crates() {
+        let files = two_crate_files();
+        let index = WorkspaceIndex::build(&files);
+        assert!(index.is_recorder("record_trial"), "direct");
+        assert!(index.is_recorder("hop"), "one hop");
+        assert!(index.is_recorder("driver"), "two hops, cross-crate");
+        assert!(!index.is_recorder("quiet_math"));
+        assert!(!index.is_recorder("bystander"));
+    }
+
+    #[test]
+    fn slice_queries_see_markers_and_calls() {
+        let files = two_crate_files();
+        let index = WorkspaceIndex::build(&files);
+        let probe = SourceFile::parse(
+            "crates/beta/src/probe.rs",
+            "fn a() { driver(); } fn b() { surfnet_telemetry::flush(); } fn c() { noop(); }",
+        );
+        let ts = &probe.tokens;
+        assert!(index.slice_records_telemetry(ts));
+        assert!(slice_calls_flush(ts));
+        let quiet = SourceFile::parse("crates/beta/src/q.rs", "fn c() { noop(); }");
+        assert!(!index.slice_records_telemetry(&quiet.tokens));
+        assert!(!slice_calls_flush(&quiet.tokens));
+    }
+
+    #[test]
+    fn brace_and_paren_matching() {
+        let f = SourceFile::parse(
+            "crates/x/src/l.rs",
+            "fn a() { if x { y(); } z(); } fn b() {}",
+        );
+        let open = f
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Punct && t.text == "{")
+            .unwrap();
+        let close = match_brace(&f.tokens, open);
+        // The matched `}` is the one before `fn b`.
+        assert_eq!(f.tokens[close].text, "}");
+        assert_eq!(f.tokens[close + 1].text, "fn");
+    }
+}

@@ -6,26 +6,41 @@
 //! valid correction. Those properties regress silently: an `Instant::now`
 //! sneaking into a hot loop, a `HashMap` whose iteration order leaks into
 //! a schedule, a typo'd telemetry metric name recording into a series
-//! nobody reads. This crate is a from-scratch lint pass — a hand-rolled
-//! token scanner (the container is offline; no proc-macro or rustc
-//! plumbing) feeding a pluggable lint registry — that turns each of those
+//! nobody reads, a scoped worker thread whose telemetry shard dies with
+//! it. This crate is a from-scratch lint pass — a hand-rolled token
+//! scanner (the container is offline; no proc-macro or rustc plumbing)
+//! feeding a pluggable lint registry — that turns each of those
 //! regressions into a file/line diagnostic.
+//!
+//! Analysis is two-pass: every file is scanned first, then a workspace
+//! symbol index ([`index::WorkspaceIndex`]) is built over the full set —
+//! `fn` definitions, call names, `use` edges, and a transitive
+//! records-telemetry fixpoint — so lints like `scoped-flush` can reason
+//! across files (a spawn closure calling a helper two crates away that
+//! records telemetry).
 //!
 //! Findings are suppressed in place with
 //! `// analyzer:allow(<lint>): <reason>` comments; a directive without a
-//! reason is itself a finding, so the suppression trail stays auditable.
+//! reason is itself a finding (`bad-allow`), and so is a directive that
+//! suppresses nothing (`unused-allow`), so the suppression trail stays
+//! auditable in both directions.
 //!
 //! The dynamic counterpart lives in the target crates themselves: the
 //! `SURFNET_CHECK=1` invariant checkers in `surfnet-decoder` and
-//! `surfnet-lp` (see `decoder::check` and `lp::check`).
+//! `surfnet-lp` (see `decoder::check` and `lp::check`), and the
+//! deterministic interleaving race harness in `surfnet-telemetry`
+//! (`tests/race_harness.rs`), which exercises at runtime the same
+//! scoped-thread shard-loss defect `scoped-flush` denies statically.
 
 pub mod diagnostics;
+pub mod index;
 pub mod lexer;
 pub mod lints;
 pub mod source;
 
 pub use diagnostics::{Diagnostic, Report, Severity};
-pub use lints::{analyze_file, default_lints, Lint};
+pub use index::WorkspaceIndex;
+pub use lints::{analyze_files, default_lints, Lint};
 pub use source::{FileKind, SourceFile};
 
 use std::fs;
@@ -33,12 +48,23 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Analyzes one source string under an explicit path label. The path drives
-/// crate/kind scoping exactly as it would on disk.
+/// crate/kind scoping exactly as it would on disk. The workspace index
+/// covers just this file, so cross-file lints see a one-file workspace.
 pub fn analyze_source(path_label: &str, source: &str) -> Report {
-    let file = SourceFile::parse(path_label, source);
+    analyze_sources(&[(path_label, source)])
+}
+
+/// Analyzes several labeled sources as one workspace — the symbol index
+/// spans all of them, so cross-file lint behavior (call graphs, registry
+/// references) is exercisable from fixtures.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
     let lints = default_lints();
     let mut report = Report::default();
-    analyze_file(&file, &lints, &mut report);
+    analyze_files(&files, &lints, &mut report);
     finish(report)
 }
 
@@ -48,19 +74,18 @@ pub fn analyze_source(path_label: &str, source: &str) -> Report {
 /// project style), and the analyzer's own test fixtures (they violate
 /// lints on purpose).
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for top in ["crates", "src", "examples", "tests", "benches"] {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
+            collect_rs_files(&dir, &mut paths)?;
         }
     }
     // Deterministic order, independent of directory-entry order.
-    files.sort();
+    paths.sort();
 
-    let lints = default_lints();
-    let mut report = Report::default();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
@@ -70,9 +95,12 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             continue;
         }
         let source = fs::read_to_string(&path)?;
-        let file = SourceFile::parse(&rel, &source);
-        analyze_file(&file, &lints, &mut report);
+        files.push(SourceFile::parse(&rel, &source));
     }
+
+    let lints = default_lints();
+    let mut report = Report::default();
+    analyze_files(&files, &lints, &mut report);
     Ok(finish(report))
 }
 

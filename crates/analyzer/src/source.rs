@@ -91,20 +91,17 @@ impl SourceFile {
                     a.line == line
                 } else {
                     // Standalone: applies to the next code line; tolerate a
-                    // small stack of consecutive directive lines.
-                    a.line < line && line - a.line <= 4 && self.only_allows_between(a.line, line)
+                    // small stack of directive lines and wrapped reason
+                    // comments in between.
+                    a.line < line && line - a.line <= 4 && self.no_code_between(a.line, line)
                 }
         })
     }
 
-    /// True when every line strictly between `from` and `to` holds only
-    /// other allow directives (no code tokens).
-    fn only_allows_between(&self, from: u32, to: u32) -> bool {
-        ((from + 1)..to).all(|l| {
-            let has_code = self.tokens.iter().any(|t| t.line == l);
-            let has_allow = self.allows.iter().any(|a| a.line == l);
-            has_allow && !has_code
-        })
+    /// True when every line strictly between `from` and `to` holds no code
+    /// tokens (only further directives, comments, or blanks).
+    fn no_code_between(&self, from: u32, to: u32) -> bool {
+        ((from + 1)..to).all(|l| !self.tokens.iter().any(|t| t.line == l))
     }
 }
 

@@ -1,0 +1,30 @@
+//! atomic-ordering fixture: every `Ordering::Relaxed` needs a justifying
+//! allow; Acquire/Release and test code pass untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn unjustified() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn justified() {
+    // analyzer:allow(atomic-ordering): commutative tally; no other
+    // memory access depends on the value
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publishing() -> u64 {
+    HITS.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        HITS.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,5 @@
+//! catalog-unused fixture: stands in for `telemetry/src/catalog.rs` (the
+//! lint keys on the path label). `demo.used` is referenced by the usage
+//! fixture; `demo.unused` is dead weight.
+
+pub const CATALOG: &[(&str, u8)] = &[("demo.used", 0), ("demo.unused", 0)];

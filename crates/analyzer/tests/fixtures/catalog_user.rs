@@ -1,0 +1,5 @@
+//! catalog-unused fixture: the file that keeps `demo.used` alive.
+
+pub fn touch() -> &'static str {
+    "demo.used"
+}

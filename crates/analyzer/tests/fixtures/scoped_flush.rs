@@ -1,0 +1,46 @@
+//! scoped-flush fixture: a `scope.spawn` closure that records telemetry
+//! must merge its thread-local shard before the scope joins. Metric names
+//! are real catalog entries so the telemetry-name lint stays quiet.
+
+pub fn loses_counts() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            surfnet_telemetry::count!("lp.pivots");
+        });
+    });
+}
+
+pub fn guarded() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            surfnet_telemetry::count!("lp.pivots");
+            surfnet_telemetry::flush();
+        });
+    });
+}
+
+pub fn journal_guarded() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            surfnet_telemetry::count!("lp.pivots");
+            surfnet_telemetry::journal::flush_thread();
+        });
+    });
+}
+
+pub fn non_recording() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ = 1 + 1;
+        });
+    });
+}
+
+pub fn suppressed() {
+    std::thread::scope(|s| {
+        // analyzer:allow(scoped-flush): fixture — the loss is the point
+        s.spawn(|| {
+            surfnet_telemetry::count!("lp.pivots");
+        });
+    });
+}

@@ -1,0 +1,13 @@
+//! Cross-file half of the scoped-flush fixture pair: the spawn closure
+//! records only *transitively*, through `bump_attempts` defined in the
+//! recorder fixture (another crate in the analyzed set).
+
+use surfnet_lattice::metrics_fixture::bump_attempts;
+
+pub fn fans_out() {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            bump_attempts();
+        });
+    });
+}

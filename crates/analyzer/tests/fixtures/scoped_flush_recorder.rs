@@ -1,0 +1,8 @@
+//! Cross-file half of the scoped-flush fixture pair: a helper that
+//! records telemetry directly. The other half spawns it inside a
+//! `thread::scope` without flushing — the lint only connects the two when
+//! both files are in the analyzed set (via the workspace call graph).
+
+pub fn bump_attempts() {
+    surfnet_telemetry::count!("netsim.entanglement_attempts");
+}

@@ -4,7 +4,7 @@
 //! `analyze_workspace` skips the directory), with path labels choosing the
 //! crate/kind scope each lint sees.
 
-use surfnet_analyzer::{analyze_source, Report, Severity};
+use surfnet_analyzer::{analyze_source, analyze_sources, Report, Severity};
 
 const WALL_CLOCK: &str = include_str!("fixtures/wall_clock.rs");
 const HASH_COLLECTIONS: &str = include_str!("fixtures/hash_collections.rs");
@@ -12,6 +12,13 @@ const UNSEEDED_RNG: &str = include_str!("fixtures/unseeded_rng.rs");
 const PANIC_SITE: &str = include_str!("fixtures/panic_site.rs");
 const TELEMETRY_NAME: &str = include_str!("fixtures/telemetry_name.rs");
 const PRINT_SITE: &str = include_str!("fixtures/print_site.rs");
+const SCOPED_FLUSH: &str = include_str!("fixtures/scoped_flush.rs");
+const SCOPED_FLUSH_RECORDER: &str = include_str!("fixtures/scoped_flush_recorder.rs");
+const SCOPED_FLUSH_CALLER: &str = include_str!("fixtures/scoped_flush_caller.rs");
+const ATOMIC_ORDERING: &str = include_str!("fixtures/atomic_ordering.rs");
+const ENV_VAR_REGISTRY: &str = include_str!("fixtures/env_var_registry.rs");
+const CATALOG_DEFS: &str = include_str!("fixtures/catalog_defs.rs");
+const CATALOG_USER: &str = include_str!("fixtures/catalog_user.rs");
 
 fn count(report: &Report, lint: &str) -> usize {
     report.diagnostics.iter().filter(|d| d.lint == lint).count()
@@ -152,6 +159,111 @@ pub fn g() {}\n";
     assert_eq!(bad.len(), 2, "{:#?}", r.diagnostics);
     assert!(bad.iter().any(|d| d.message.contains("missing")));
     assert!(bad.iter().any(|d| d.message.contains("made-up-lint")));
+}
+
+#[test]
+fn scoped_flush_fires_and_respects_allow() {
+    let r = analyze_source("crates/core/src/fixture.rs", SCOPED_FLUSH);
+    let findings: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "scoped-flush")
+        .collect();
+    // Only `loses_counts` fires: the flush()/flush_thread() variants are
+    // guarded, the non-recording spawn is out of scope, and the last one
+    // is suppressed.
+    assert_eq!(findings.len(), 1, "{:#?}", r.diagnostics);
+    assert!(findings[0].message.contains("records telemetry"));
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn scoped_flush_sees_transitive_recorders_across_files() {
+    // The caller's spawn closure records only through a helper defined in
+    // another crate; the workspace call graph connects them.
+    let r = analyze_sources(&[
+        (
+            "crates/lattice/src/metrics_fixture.rs",
+            SCOPED_FLUSH_RECORDER,
+        ),
+        ("crates/netsim/src/scope_fixture.rs", SCOPED_FLUSH_CALLER),
+    ]);
+    let findings: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "scoped-flush")
+        .collect();
+    assert_eq!(findings.len(), 1, "{:#?}", r.diagnostics);
+    assert!(findings[0].path.contains("scope_fixture"));
+    // Without the recorder file in the analyzed set, the index cannot know
+    // `bump_attempts` records — the caller alone stays silent.
+    let r = analyze_source("crates/netsim/src/scope_fixture.rs", SCOPED_FLUSH_CALLER);
+    assert_eq!(count(&r, "scoped-flush"), 0, "{:#?}", r.diagnostics);
+}
+
+#[test]
+fn atomic_ordering_fires_and_respects_allow() {
+    let r = analyze_source("crates/decoder/src/fixture.rs", ATOMIC_ORDERING);
+    // `unjustified` fires; `justified` is suppressed; Acquire and the
+    // #[cfg(test)] module pass untouched.
+    assert_eq!(count(&r, "atomic-ordering"), 1, "{:#?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+    // Vendored shims keep their upstream code verbatim.
+    let r = analyze_source("shims/rand/src/lib.rs", ATOMIC_ORDERING);
+    assert_eq!(count(&r, "atomic-ordering"), 0, "{:#?}", r.diagnostics);
+}
+
+#[test]
+fn env_var_registry_fires_at_error_severity_and_respects_allow() {
+    let r = analyze_source("crates/bench/src/fixture.rs", ENV_VAR_REGISTRY);
+    let findings: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "env-var-registry")
+        .collect();
+    // Only the typo fires; the registered knob, the prose wildcard, and
+    // the embedded occurrence stay clean, and the allowed one suppresses.
+    assert_eq!(findings.len(), 1, "{:#?}", r.diagnostics);
+    assert!(findings[0].severity == Severity::Error);
+    // analyzer:allow(env-var-registry): asserting on the fixture's typo'd name
+    assert!(findings[0].message.contains("SURFNET_SATS"));
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn catalog_unused_flags_dead_entries_across_files() {
+    let r = analyze_sources(&[
+        ("crates/telemetry/src/catalog.rs", CATALOG_DEFS),
+        ("crates/core/src/catalog_user.rs", CATALOG_USER),
+    ]);
+    let findings: Vec<_> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "catalog-unused")
+        .collect();
+    assert_eq!(findings.len(), 1, "{:#?}", r.diagnostics);
+    assert!(findings[0].message.contains("demo.unused"));
+    assert!(findings[0].path.ends_with("catalog.rs"));
+    // A fixture set without the defining file never mass-fires.
+    let r = analyze_source("crates/core/src/catalog_user.rs", CATALOG_USER);
+    assert_eq!(count(&r, "catalog-unused"), 0);
+}
+
+#[test]
+fn unused_allow_flags_stale_directives_and_can_be_allowed() {
+    let stale = "\
+// analyzer:allow(wall-clock): nothing here uses the clock\n\
+pub fn tidy() {}\n";
+    let r = analyze_source("crates/routing/src/fixture.rs", stale);
+    assert_eq!(count(&r, "unused-allow"), 1, "{:#?}", r.diagnostics);
+    // A deliberate keep is itself expressible as an allow.
+    let kept = "\
+// analyzer:allow(unused-allow): kept while the refactor lands\n\
+// analyzer:allow(wall-clock): nothing here uses the clock\n\
+pub fn tidy() {}\n";
+    let r = analyze_source("crates/routing/src/fixture.rs", kept);
+    assert_eq!(count(&r, "unused-allow"), 0, "{:#?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
 }
 
 #[test]

@@ -71,6 +71,8 @@ pub fn parallel_trials(
                         Ok(metrics) => results.lock().push((seed, metrics)),
                         Err(_) => {
                             surfnet_telemetry::count!("runner.trial_failures");
+                            // analyzer:allow(atomic-ordering): pure tally —
+                            // read only after the scope joins every worker
                             failures.fetch_add(1, Ordering::Relaxed);
                         }
                     }

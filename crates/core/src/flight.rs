@@ -58,6 +58,8 @@ fn config() -> &'static Mutex<Option<Config>> {
 /// evaluation hot path checks this before doing any capture work.
 #[inline]
 pub fn armed() -> bool {
+    // analyzer:allow(atomic-ordering): fast-path gate only; capture()
+    // re-reads everything it needs under the config mutex
     ARMED.load(Ordering::Relaxed)
 }
 
@@ -68,32 +70,94 @@ pub fn arm(dir: impl Into<PathBuf>, max: usize) {
         max,
         captured: 0,
     });
+    // analyzer:allow(atomic-ordering): the config mutex (released just
+    // above) publishes dir/budget; the flag is a fast-path gate
     ARMED.store(true, Ordering::Relaxed);
 }
 
 /// Disarms the recorder and forgets the capture directory.
 pub fn disarm() {
+    // analyzer:allow(atomic-ordering): gate flip; a capture racing the
+    // flip still sees a coherent config under the mutex below
     ARMED.store(false, Ordering::Relaxed);
     *config().lock().expect("flight config lock") = None;
+}
+
+/// Values that read as boolean switches rather than directories. Someone
+/// exporting `SURFNET_FLIGHT=1` expected an on/off knob; silently creating
+/// a directory literally named `1` (or `true`) would hide that mistake.
+const SWITCH_LIKE: &[&str] = &[
+    "1", "on", "true", "yes", "y", "enable", "enabled", "false", "no", "n", "disable", "disabled",
+    "none",
+];
+
+/// Parses the `SURFNET_FLIGHT` / `SURFNET_FLIGHT_MAX` pair into a capture
+/// directory and budget, or `None` when the recorder should stay disarmed.
+///
+/// `SURFNET_FLIGHT` accepts a capture directory to arm, or unset / `""` /
+/// `0` / `off` to stay disarmed. Switch-like values (`1`, `true`, ...) are
+/// rejected rather than treated as directory names. `SURFNET_FLIGHT_MAX`
+/// accepts a non-negative integer, or unset / `""` for
+/// [`DEFAULT_MAX_CAPTURES`]; it is validated even when the recorder is
+/// disarmed, so a garbled budget never silently rides along.
+///
+/// # Errors
+///
+/// Returns a message naming the offending variable and the accepted forms.
+pub fn parse_flight_spec(
+    flight: Option<&str>,
+    max: Option<&str>,
+) -> Result<Option<(PathBuf, usize)>, String> {
+    let budget = match max.map(str::trim) {
+        None | Some("") => DEFAULT_MAX_CAPTURES,
+        Some(raw) => raw.parse::<usize>().map_err(|_| {
+            format!(
+                "unrecognized SURFNET_FLIGHT_MAX value {raw:?}; accepted forms: \
+                 a non-negative integer capture budget, or unset/empty for the \
+                 default ({DEFAULT_MAX_CAPTURES})"
+            )
+        })?,
+    };
+    let Some(raw) = flight else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed == "0" || trimmed.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    if SWITCH_LIKE.contains(&trimmed.to_ascii_lowercase().as_str()) {
+        return Err(format!(
+            "ambiguous SURFNET_FLIGHT value {trimmed:?} — the knob takes a capture \
+             directory, not an on/off switch; accepted forms: a directory path to \
+             arm, or unset/empty/\"0\"/\"off\" to stay disarmed"
+        ));
+    }
+    Ok(Some((PathBuf::from(trimmed), budget)))
 }
 
 /// Arms the recorder from `SURFNET_FLIGHT` (capture directory) and
 /// `SURFNET_FLIGHT_MAX` (capture budget, default
 /// [`DEFAULT_MAX_CAPTURES`]). Empty, `0`, or `off` leaves it disarmed.
 /// Returns the capture directory when armed.
+///
+/// A malformed value prints the accepted forms to stderr and **exits with
+/// status 2** (mirroring `SURFNET_STATS` / `SURFNET_TELEMETRY`): a garbled
+/// spec means the caller expected captures and would otherwise silently
+/// not get them.
 pub fn init_from_env() -> Option<PathBuf> {
-    let raw = std::env::var("SURFNET_FLIGHT").ok()?;
-    let trimmed = raw.trim();
-    if trimmed.is_empty() || trimmed == "0" || trimmed.eq_ignore_ascii_case("off") {
-        return None;
+    let flight = std::env::var("SURFNET_FLIGHT").ok();
+    let max = std::env::var("SURFNET_FLIGHT_MAX").ok();
+    match parse_flight_spec(flight.as_deref(), max.as_deref()) {
+        Ok(None) => None,
+        Ok(Some((dir, budget))) => {
+            arm(&dir, budget);
+            Some(dir)
+        }
+        Err(message) => {
+            // analyzer:allow(print-site): fatal env misconfiguration must
+            // reach stderr before the process exits
+            eprintln!("surfnet-flight: {message}");
+            std::process::exit(2);
+        }
     }
-    let max = std::env::var("SURFNET_FLIGHT_MAX")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(DEFAULT_MAX_CAPTURES);
-    let dir = PathBuf::from(trimmed);
-    arm(&dir, max);
-    Some(dir)
 }
 
 // ---------------------------------------------------------------------------
@@ -892,6 +956,53 @@ mod tests {
             }
         }
         panic!("no failing shot found at this noise level");
+    }
+
+    #[test]
+    fn flight_spec_accepts_documented_forms() {
+        // Disarmed forms.
+        assert_eq!(parse_flight_spec(None, None), Ok(None));
+        assert_eq!(parse_flight_spec(Some(""), None), Ok(None));
+        assert_eq!(parse_flight_spec(Some("  "), None), Ok(None));
+        assert_eq!(parse_flight_spec(Some("0"), None), Ok(None));
+        assert_eq!(parse_flight_spec(Some("OFF"), None), Ok(None));
+        // Armed with the default and an explicit budget.
+        assert_eq!(
+            parse_flight_spec(Some("/tmp/captures"), None),
+            Ok(Some((PathBuf::from("/tmp/captures"), DEFAULT_MAX_CAPTURES)))
+        );
+        assert_eq!(
+            parse_flight_spec(Some("captures"), Some("12")),
+            Ok(Some((PathBuf::from("captures"), 12)))
+        );
+        assert_eq!(
+            parse_flight_spec(Some("captures"), Some(" 0 ")),
+            Ok(Some((PathBuf::from("captures"), 0)))
+        );
+        // Empty budget falls back to the default.
+        assert_eq!(
+            parse_flight_spec(Some("captures"), Some("")),
+            Ok(Some((PathBuf::from("captures"), DEFAULT_MAX_CAPTURES)))
+        );
+    }
+
+    #[test]
+    fn flight_spec_rejects_garbled_values() {
+        // Switch-like directory values are a misunderstanding, not a path.
+        for bad in ["1", "true", "ON", "yes", "disabled"] {
+            let err = parse_flight_spec(Some(bad), None).unwrap_err();
+            assert!(err.contains("SURFNET_FLIGHT"), "{err}");
+            assert!(err.contains("directory"), "{err}");
+        }
+        // Garbled budgets abort even though the recorder would be armed...
+        let err = parse_flight_spec(Some("captures"), Some("lots")).unwrap_err();
+        assert!(err.contains("SURFNET_FLIGHT_MAX"), "{err}");
+        assert!(err.contains("integer"), "{err}");
+        assert!(parse_flight_spec(Some("captures"), Some("-3")).is_err());
+        assert!(parse_flight_spec(Some("captures"), Some("4x")).is_err());
+        // ...and even when it is disarmed: the typo should surface now,
+        // not on the next run that also sets SURFNET_FLIGHT.
+        assert!(parse_flight_spec(None, Some("lots")).is_err());
     }
 
     #[test]

@@ -34,7 +34,6 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("decoder.blossom_stages", MetricKind::Counter),
     ("decoder.cache_hits", MetricKind::Counter),
     ("decoder.cache_misses", MetricKind::Counter),
-    ("decoder.decode", MetricKind::Timer),
     ("decoder.dijkstra_relaxations", MetricKind::Counter),
     ("decoder.growth_rounds", MetricKind::Counter),
     ("decoder.mwpm.decode", MetricKind::Timer),

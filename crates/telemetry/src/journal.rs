@@ -42,17 +42,23 @@ static DROPPED_EVENTS: AtomicU64 = AtomicU64::new(0);
 /// [`crate::snapshot`] as the `journal.dropped` counter so a truncated
 /// trace is visible instead of silently reading as "captured everything".
 pub fn dropped_events() -> u64 {
+    // analyzer:allow(atomic-ordering): monotonic tally read for reporting;
+    // no other memory is inferred from the value
     DROPPED_EVENTS.load(Ordering::Relaxed)
 }
 
 /// Returns whether journal recording is enabled (one relaxed load).
 #[inline(always)]
 pub fn enabled() -> bool {
+    // analyzer:allow(atomic-ordering): on/off gate; events live in
+    // thread-local rings, nothing is published through this flag
     JOURNAL.load(Ordering::Relaxed)
 }
 
 /// Turns journal recording on or off (process-global).
 pub fn set_enabled(on: bool) {
+    // analyzer:allow(atomic-ordering): gate flip; drains synchronize on
+    // the global buffer mutex, not on this flag
     JOURNAL.store(on, Ordering::Relaxed);
 }
 
@@ -152,6 +158,8 @@ struct ThreadRing {
 impl ThreadRing {
     fn new() -> ThreadRing {
         ThreadRing {
+            // analyzer:allow(atomic-ordering): unique-id allocation needs
+            // only the fetch_add's atomicity
             tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
             buf: Vec::new(),
             head: 0,
@@ -162,6 +170,8 @@ impl ThreadRing {
         if self.buf.len() < THREAD_RING_CAPACITY {
             self.buf.push(e);
         } else {
+            // analyzer:allow(atomic-ordering): commutative tally; exactness
+            // needs atomicity only
             DROPPED_EVENTS.fetch_add(1, Ordering::Relaxed);
             self.buf[self.head] = e;
             self.head = (self.head + 1) % THREAD_RING_CAPACITY;
@@ -181,6 +191,8 @@ impl ThreadRing {
         global.extend(self.in_order().copied());
         let excess = global.len().saturating_sub(GLOBAL_CAPACITY);
         if excess > 0 {
+            // analyzer:allow(atomic-ordering): commutative tally, and the
+            // global buffer mutex is already held here
             DROPPED_EVENTS.fetch_add(excess as u64, Ordering::Relaxed);
             global.drain(..excess);
         }
@@ -271,6 +283,8 @@ pub fn reset() {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clear();
+    // analyzer:allow(atomic-ordering): test-support tally reset; callers
+    // serialize tests touching the journal
     DROPPED_EVENTS.store(0, Ordering::Relaxed);
 }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod envreg;
 pub mod hist;
 pub mod journal;
 pub mod json;
@@ -83,6 +84,8 @@ pub enum Mode {
 /// This is the only check on disabled hot paths: one relaxed atomic load.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // analyzer:allow(atomic-ordering): on/off gate; recording goes to
+    // thread-local shards, nothing is published through this flag
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -105,12 +108,15 @@ pub struct Telemetry;
 impl Telemetry {
     /// Disables recording. Hot paths reduce to a load + branch.
     pub fn disabled() -> Telemetry {
+        // analyzer:allow(atomic-ordering): gate flip; a racing recorder
+        // at worst records one extra shard-local event
         ENABLED.store(false, Ordering::Relaxed);
         Telemetry
     }
 
     /// Enables recording.
     pub fn enabled() -> Telemetry {
+        // analyzer:allow(atomic-ordering): gate flip; see disabled()
         ENABLED.store(true, Ordering::Relaxed);
         Telemetry
     }
@@ -129,20 +135,23 @@ impl Telemetry {
                 Mode::Off
             }
         };
-        MODE.store(
-            match mode {
-                Mode::Off => 0,
-                Mode::Json => 1,
-                Mode::Table => 2,
-            },
-            Ordering::Relaxed,
-        );
+        let tag = match mode {
+            Mode::Off => 0,
+            Mode::Json => 1,
+            Mode::Table => 2,
+        };
+        // analyzer:allow(atomic-ordering): init runs before workers spawn;
+        // both flags are independent gates, neither publishes data
+        MODE.store(tag, Ordering::Relaxed);
+        // analyzer:allow(atomic-ordering): same single-threaded init gate
         ENABLED.store(mode != Mode::Off, Ordering::Relaxed);
         mode
     }
 
     /// The mode selected by the last [`Telemetry::init_from_env`] call.
     pub fn mode() -> Mode {
+        // analyzer:allow(atomic-ordering): mode selector read standalone;
+        // no other memory access depends on it
         match MODE.load(Ordering::Relaxed) {
             1 => Mode::Json,
             2 => Mode::Table,
@@ -222,6 +231,8 @@ static BUDGET: AtomicUsize = AtomicUsize::new(MAX_METRICS);
 /// ([`MAX_METRICS`]) was exhausted. Also exported by [`snapshot`] as the
 /// `telemetry.dropped` counter.
 pub fn dropped_metrics() -> u64 {
+    // analyzer:allow(atomic-ordering): monotonic tally read for reporting;
+    // no other memory is inferred from the value
     DROPPED.load(Ordering::Relaxed)
 }
 
@@ -231,6 +242,8 @@ pub fn dropped_metrics() -> u64 {
 /// are fixed-size.
 #[doc(hidden)]
 pub fn set_metric_budget(budget: usize) {
+    // analyzer:allow(atomic-ordering): test-support knob; registration
+    // reads it standalone under the names lock
     BUDGET.store(budget.min(MAX_METRICS), Ordering::Relaxed);
 }
 
@@ -244,11 +257,16 @@ fn register(name: &'static str, kind: Kind) -> u32 {
         );
         return id as u32;
     }
+    // analyzer:allow(atomic-ordering): budget threshold read under the
+    // names lock; an off-by-one-registration race is harmless shedding
     if names.len() >= BUDGET.load(Ordering::Relaxed) {
         // Budget exhausted: a recording layer must not panic mid-run. Shed
         // the metric, count the loss, and say so once.
+        // analyzer:allow(atomic-ordering): commutative tally
         DROPPED.fetch_add(1, Ordering::Relaxed);
         static WARNED: AtomicBool = AtomicBool::new(false);
+        // analyzer:allow(atomic-ordering): once-flag for a warning; a
+        // duplicate eprintln on a race would be cosmetic
         if !WARNED.swap(true, Ordering::Relaxed) {
             eprintln!(
                 "surfnet-telemetry: metric budget exhausted ({} metrics); \
@@ -425,7 +443,7 @@ macro_rules! count {
     };
 }
 
-/// Per-call-site span timer: `let _span = span!("decoder.decode");`.
+/// Per-call-site span timer: `let _span = span!("decoder.mwpm.decode");`.
 /// Returns an inert guard when disabled. Active whenever *either* the
 /// aggregate layer or the event journal is recording — in the latter case
 /// the guard emits `Begin`/`End` journal records instead of (or as well
@@ -515,12 +533,16 @@ impl LocalShard {
         let reg = registry();
         for (id, c) in self.counts.iter_mut().enumerate() {
             if *c != 0 {
+                // analyzer:allow(atomic-ordering): shard merges are
+                // commutative fetch_adds — exactness needs atomicity only,
+                // and readers synchronize via thread join / scoped flush
                 reg.counts[id].fetch_add(*c, Ordering::Relaxed);
                 *c = 0;
             }
         }
         for (id, s) in self.sums.iter_mut().enumerate() {
             if *s != 0 {
+                // analyzer:allow(atomic-ordering): same commutative merge
                 reg.sums[id].fetch_add(*s, Ordering::Relaxed);
                 *s = 0;
             }
@@ -535,6 +557,8 @@ impl LocalShard {
                 });
                 for (bucket, &v) in global.iter().zip(local.iter()) {
                     if v != 0 {
+                        // analyzer:allow(atomic-ordering): same commutative
+                        // merge, per histogram bucket
                         bucket.fetch_add(v, Ordering::Relaxed);
                     }
                 }
@@ -543,8 +567,51 @@ impl LocalShard {
     }
 }
 
+/// Armed flag for the shard-drop test hook; one relaxed load per shard
+/// drop when inactive.
+static DROP_HOOK_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// A shard-drop hook: `Arc` (not `Box`) so it is cloned out and invoked
+/// without holding the slot lock — hooks are allowed to block.
+pub type ShardDropHook = std::sync::Arc<dyn Fn() + Send + Sync>;
+
+/// The hook itself, behind a lock so arming/disarming is race-free.
+fn drop_hook_slot() -> &'static Mutex<Option<ShardDropHook>> {
+    static SLOT: OnceLock<Mutex<Option<ShardDropHook>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Test hook: runs at the start of every implicit shard merge — the TLS
+/// destructor on thread exit — but **not** on explicit [`flush`] calls.
+///
+/// The race harness uses this to hold selected threads' destructor merges
+/// at a deterministic point, reproducing the scoped-thread shard-loss
+/// window (`std::thread::scope` unblocks when the closure returns, before
+/// TLS destructors run). Pass `None` to disarm.
+#[doc(hidden)]
+pub fn set_shard_drop_hook(hook: Option<ShardDropHook>) {
+    let mut slot = drop_hook_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    // analyzer:allow(atomic-ordering): the slot mutex orders the flag with
+    // the hook contents; the flag alone gates a fast path.
+    DROP_HOOK_ARMED.store(hook.is_some(), Ordering::Relaxed);
+    *slot = hook;
+}
+
 impl Drop for LocalShard {
     fn drop(&mut self) {
+        // analyzer:allow(atomic-ordering): fast-path gate only; the slot
+        // mutex below is the synchronization point.
+        if DROP_HOOK_ARMED.load(Ordering::Relaxed) {
+            let hook = drop_hook_slot()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if let Some(hook) = hook {
+                hook();
+            }
+        }
         self.merge_into_global();
     }
 }
@@ -621,13 +688,19 @@ pub fn snapshot() -> Snapshot {
             Kind::Counter => {
                 snap.counters.push((
                     meta.name.to_string(),
+                    // analyzer:allow(atomic-ordering): snapshot reads are
+                    // exact because contributing threads were joined (or
+                    // flushed) first; the load itself publishes nothing
                     reg.counts[id].load(Ordering::Relaxed),
                 ));
             }
             Kind::Timer => {
+                // analyzer:allow(atomic-ordering): same joined-first read
                 let count = reg.counts[id].load(Ordering::Relaxed);
+                // analyzer:allow(atomic-ordering): same joined-first read
                 let total_ns = reg.sums[id].load(Ordering::Relaxed);
                 let buckets: Vec<u64> = match reg.hists[id].get() {
+                    // analyzer:allow(atomic-ordering): same joined-first read
                     Some(h) => h.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
                     None => vec![0; hist::BUCKETS],
                 };
@@ -661,6 +734,8 @@ pub fn snapshot() -> Snapshot {
 /// including the dropped-registration count. Registered names and
 /// call-site handles stay valid.
 pub fn reset() {
+    // analyzer:allow(atomic-ordering): reset is a quiescent-state (test
+    // support) operation; callers serialize it against recorders
     DROPPED.store(0, Ordering::Relaxed);
     SHARD.with(|s| {
         let mut shard = s.borrow_mut();
@@ -670,14 +745,17 @@ pub fn reset() {
     });
     let reg = registry();
     for c in &reg.counts {
+        // analyzer:allow(atomic-ordering): quiescent-state zeroing
         c.store(0, Ordering::Relaxed);
     }
     for s in &reg.sums {
+        // analyzer:allow(atomic-ordering): quiescent-state zeroing
         s.store(0, Ordering::Relaxed);
     }
     for h in &reg.hists {
         if let Some(h) = h.get() {
             for b in h.iter() {
+                // analyzer:allow(atomic-ordering): quiescent-state zeroing
                 b.store(0, Ordering::Relaxed);
             }
         }

@@ -323,6 +323,8 @@ pub fn finish() -> Option<PathBuf> {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .take()?;
+    // analyzer:allow(atomic-ordering): wakeup hint only; the join() right
+    // below is the real synchronization with the sampler
     rt.stop.store(true, Ordering::Relaxed);
     match rt.join.join() {
         Ok(Ok(())) => {}
@@ -349,6 +351,8 @@ fn sampler_loop(
         // Sleep toward the next tick in short hops so finish() returns
         // promptly even with multi-second intervals.
         let stopping = loop {
+            // analyzer:allow(atomic-ordering): polled stop flag; finish()
+            // joins this thread before reading the output file
             if stop.load(Ordering::Relaxed) {
                 break true;
             }

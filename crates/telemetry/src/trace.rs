@@ -145,6 +145,9 @@ mod tests {
     fn contexts_are_thread_local() {
         let _t = trial_scope(11);
         std::thread::scope(|s| {
+            // analyzer:allow(scoped-flush): touches only the thread-local
+            // trace context — `trial_scope` here is trace::trial_scope; the
+            // recorder hit is stage::trial_scope via name-level resolution
             s.spawn(|| {
                 assert_eq!(current(), TraceCtx::EMPTY);
                 let _t = trial_scope(12);

@@ -1,0 +1,485 @@
+//! Deterministic interleaving race harness for the telemetry shard
+//! pipeline.
+//!
+//! The aggregate layer's correctness argument is "thread-local shards
+//! merge into the global atomics exactly once, no matter how recording,
+//! explicit [`surfnet_telemetry::flush`] calls, and thread exits
+//! interleave". Losing that argument is silent — counters just come out
+//! low — so this harness *drives* the interleavings instead of hoping a
+//! stress test stumbles into them:
+//!
+//! * [`interleaved_schedules_preserve_exact_totals`] steps four workers
+//!   through a seeded permutation schedule (a turnstile: exactly one
+//!   worker acts per step, in schedule order), mixing shard records with
+//!   mid-stream flushes, and demands the post-join snapshot equal the sum
+//!   computed in plain code. Every seed exercises `WORKERS * ROUNDS`
+//!   scheduled interleaving points.
+//! * [`missing_scoped_flush_loses_shards_deterministically`] reproduces
+//!   the historical scoped-thread shard-loss bug on purpose:
+//!   `std::thread::scope` unblocks when the closures return, *before* TLS
+//!   destructors merge the shards. The harness parks every destructor
+//!   merge on a gate (via `set_shard_drop_hook`), so the snapshot taken
+//!   "after the scope joined" deterministically misses exactly the
+//!   contributions of workers whose flush guard was removed — and finds
+//!   them again (conservation) once the gate releases. If a future
+//!   refactor re-introduces the bug, the guarded twin
+//!   [`scoped_flush_guard_restores_exact_totals`] fails.
+//!
+//! The seed count comes from `SURFNET_RACE_SEEDS` (default 8; garbled
+//! values fail the harness loudly rather than silently shrinking
+//! coverage). Telemetry state is process-global, so every test here runs
+//! under one lock.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use surfnet_telemetry::{self as telemetry, Telemetry};
+
+/// Worker threads per schedule.
+const WORKERS: usize = 4;
+/// Scheduled steps per worker per seed (so `WORKERS * ROUNDS` = 256
+/// interleaving points per seed).
+const ROUNDS: usize = 64;
+/// Default seed count when `SURFNET_RACE_SEEDS` is unset.
+const DEFAULT_SEEDS: usize = 8;
+/// Hard deadline on any wait inside the harness: a scheduling bug must
+/// fail the test, not hang CI.
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// Serializes harness tests: telemetry state is process-global.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Seeding.
+
+/// Parses a `SURFNET_RACE_SEEDS` value: unset or empty means
+/// [`DEFAULT_SEEDS`], anything else must be a positive integer.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted forms; the harness panics on it
+/// (a garbled value must not silently shrink race coverage to zero).
+fn parse_race_seeds(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_SEEDS);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(DEFAULT_SEEDS);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "unrecognized SURFNET_RACE_SEEDS value {trimmed:?}; accepted forms: \
+             a positive integer seed count, or unset/empty for the default \
+             ({DEFAULT_SEEDS})"
+        )),
+    }
+}
+
+/// The seeds to drive, from `SURFNET_RACE_SEEDS`.
+fn seeds() -> Vec<u64> {
+    let raw = std::env::var("SURFNET_RACE_SEEDS").ok();
+    let count = parse_race_seeds(raw.as_deref()).unwrap_or_else(|msg| panic!("{msg}"));
+    // Spread the seeds out so off-by-one seed counts never reuse a state.
+    (0..count as u64).map(|i| 0x5EED_0001 + i * 7919).collect()
+}
+
+/// `xorshift64*`-style mixer: deterministic, dependency-free, and good
+/// enough to decorrelate (seed, round, worker) triples.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(mix(seed).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Turnstile schedules.
+
+/// One scheduled action: `worker` records `amount`, then (maybe) flushes
+/// its shard mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    worker: usize,
+    amount: u64,
+    flush: bool,
+}
+
+/// Builds the per-seed schedule: `ROUNDS` seeded permutations of the
+/// workers, each step carrying a seeded amount and a seeded mid-stream
+/// flush decision. Pure function of the seed.
+fn build_schedule(seed: u64) -> Vec<Step> {
+    let mut rng = XorShift64::new(seed);
+    let mut steps = Vec::with_capacity(WORKERS * ROUNDS);
+    for _ in 0..ROUNDS {
+        // Fisher-Yates permutation of the workers for this round.
+        let mut order: Vec<usize> = (0..WORKERS).collect();
+        for i in (1..WORKERS).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        for worker in order {
+            steps.push(Step {
+                worker,
+                amount: rng.next() % 7 + 1,
+                flush: rng.next().is_multiple_of(3),
+            });
+        }
+    }
+    steps
+}
+
+/// Executes the steps in schedule order: exactly one worker acts at a
+/// time, and which one is the schedule's choice, not the OS scheduler's.
+struct Turnstile {
+    steps: Vec<Step>,
+    /// (cursor into `steps`, log of worker ids in execution order).
+    state: Mutex<(usize, Vec<usize>)>,
+    turn: Condvar,
+}
+
+impl Turnstile {
+    fn new(steps: Vec<Step>) -> Turnstile {
+        Turnstile {
+            state: Mutex::new((0, Vec::new())),
+            steps,
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the schedule points at `worker`, returning the step
+    /// index to execute — or `None` once the schedule is exhausted.
+    fn claim(&self, worker: usize) -> Option<usize> {
+        let deadline = Instant::now() + DEADLINE;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let cursor = state.0;
+            if cursor == self.steps.len() {
+                return None;
+            }
+            if self.steps[cursor].worker == worker {
+                return Some(cursor);
+            }
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            assert!(!timeout.is_zero(), "turnstile stalled at step {cursor}");
+            let (next, _) = self
+                .turn
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Marks the current step done and hands the turnstile to the next
+    /// scheduled worker.
+    fn advance(&self, worker: usize) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.1.push(worker);
+        state.0 += 1;
+        self.turn.notify_all();
+    }
+
+    fn executed(&self) -> Vec<usize> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1
+            .clone()
+    }
+}
+
+/// Runs one seeded schedule to completion and returns
+/// `(observed_total, executed_worker_order)`. Every worker ends with the
+/// scoped-flush guard, so the total must be exact for *every* seed.
+fn run_schedule(seed: u64) -> (u64, Vec<usize>) {
+    telemetry::reset();
+    let _t = Telemetry::enabled();
+    let turnstile = Arc::new(Turnstile::new(build_schedule(seed)));
+    std::thread::scope(|s| {
+        for worker in 0..WORKERS {
+            let turnstile = Arc::clone(&turnstile);
+            s.spawn(move || {
+                let c = telemetry::counter("race.interleave");
+                while let Some(i) = turnstile.claim(worker) {
+                    let step = &turnstile.steps[i];
+                    c.add(step.amount);
+                    if step.flush {
+                        telemetry::flush();
+                    }
+                    turnstile.advance(worker);
+                }
+                // The scoped-flush guard: scope join does not wait for TLS
+                // destructors, so merge before the closure returns.
+                telemetry::flush();
+            });
+        }
+    });
+    let total = telemetry::snapshot()
+        .counter("race.interleave")
+        .unwrap_or(0);
+    let _t = Telemetry::disabled();
+    (total, turnstile.executed())
+}
+
+// ---------------------------------------------------------------------------
+// The scoped-thread loss window.
+
+/// Gate parking TLS-destructor shard merges at a deterministic point.
+struct Gate {
+    /// (threads currently parked, released flag).
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called from the shard-drop hook: registers as parked, then blocks
+    /// until [`Gate::release`].
+    fn hold(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.0 += 1;
+        self.cv.notify_all();
+        while !state.1 {
+            state = self
+                .cv
+                .wait_timeout(state, DEADLINE)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Blocks until `n` threads are parked on the gate.
+    fn await_parked(&self, n: usize) {
+        let deadline = Instant::now() + DEADLINE;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.0 < n {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            assert!(
+                !timeout.is_zero(),
+                "only {} of {n} shard drops reached the gate",
+                state.0
+            );
+            state = self
+                .cv
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The seeded set of workers that keep their scoped-flush guard. Always a
+/// strict, non-empty subset in loss mode, so both the observed-at-join
+/// value and the loss are nonzero and seed-dependent.
+fn flushers_for(seed: u64) -> BTreeSet<usize> {
+    let mut flushers: BTreeSet<usize> = (0..WORKERS)
+        .filter(|&w| mix(seed ^ (w as u64) << 32) % 2 == 1)
+        .collect();
+    if flushers.is_empty() {
+        flushers.insert((mix(seed) % WORKERS as u64) as usize);
+    }
+    if flushers.len() == WORKERS {
+        let evict = (mix(seed ^ 0xF00D) % WORKERS as u64) as usize;
+        flushers.remove(&evict);
+    }
+    flushers
+}
+
+/// Per-worker contribution for the loss-window run: seed-dependent and
+/// distinct per worker, so a wrong merge shows up as a wrong sum.
+fn contribution(seed: u64, worker: usize) -> u64 {
+    mix(seed ^ worker as u64) % 1000 + (worker as u64 + 1) * 1000
+}
+
+/// What the loss-window run saw.
+struct LossReport {
+    /// Counter value visible right after `thread::scope` returned, with
+    /// every TLS-destructor merge provably parked.
+    observed_at_join: u64,
+    /// Sum every worker recorded.
+    expected: u64,
+    /// Counter value after the gate released and all merges landed.
+    after_release: u64,
+}
+
+/// Runs the scoped-thread loss window: workers record under
+/// `thread::scope`, only `flushers` keep the scoped-flush guard, and every
+/// TLS-destructor merge is parked on a gate so the post-join snapshot is
+/// taken at a deterministic point inside the historical race window.
+fn run_loss_window(seed: u64, flushers: &BTreeSet<usize>) -> LossReport {
+    telemetry::reset();
+    let _t = Telemetry::enabled();
+    let gate = Arc::new(Gate::new());
+    let hook_gate = Arc::clone(&gate);
+    telemetry::set_shard_drop_hook(Some(Arc::new(move || hook_gate.hold())));
+
+    let expected: u64 = (0..WORKERS).map(|w| contribution(seed, w)).sum();
+    std::thread::scope(|s| {
+        for worker in 0..WORKERS {
+            let flush_guard = flushers.contains(&worker);
+            // Deliberately unguarded when `flush_guard` is false: this
+            // spawn reproduces the historical shard-loss window and the
+            // test asserts the loss. (The scoped-flush lint accepts the
+            // conditional `flush()` below — it cannot see the condition.)
+            s.spawn(move || {
+                let c = telemetry::counter("race.loss");
+                c.add(contribution(seed, worker));
+                if flush_guard {
+                    telemetry::flush();
+                }
+            });
+        }
+    });
+    // The scope has joined, yet all four destructor merges are parked:
+    // this is exactly the window the scoped-flush guard exists to close.
+    gate.await_parked(WORKERS);
+    let observed_at_join = telemetry::snapshot().counter("race.loss").unwrap_or(0);
+
+    gate.release();
+    let deadline = Instant::now() + DEADLINE;
+    let after_release = loop {
+        let total = telemetry::snapshot().counter("race.loss").unwrap_or(0);
+        if total == expected || Instant::now() > deadline {
+            break total;
+        }
+        std::thread::yield_now();
+    };
+    telemetry::set_shard_drop_hook(None);
+    let _t = Telemetry::disabled();
+    LossReport {
+        observed_at_join,
+        expected,
+        after_release,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests.
+
+#[test]
+fn interleaved_schedules_preserve_exact_totals() {
+    let _guard = guard();
+    for seed in seeds() {
+        let schedule = build_schedule(seed);
+        let expected: u64 = schedule.iter().map(|s| s.amount).sum();
+        let scheduled: Vec<usize> = schedule.iter().map(|s| s.worker).collect();
+        let (total, executed) = run_schedule(seed);
+        assert_eq!(
+            total, expected,
+            "seed {seed:#x}: shard pipeline lost or duplicated counts"
+        );
+        assert_eq!(
+            executed, scheduled,
+            "seed {seed:#x}: turnstile deviated from its schedule"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_interleaving() {
+    let _guard = guard();
+    let seed = 0x5EED_CAFE;
+    assert_eq!(build_schedule(seed), build_schedule(seed));
+    assert_ne!(
+        build_schedule(seed),
+        build_schedule(seed + 1),
+        "adjacent seeds should drive different schedules"
+    );
+    let first = run_schedule(seed);
+    let second = run_schedule(seed);
+    assert_eq!(first, second, "one seed must replay one interleaving");
+}
+
+#[test]
+fn missing_scoped_flush_loses_shards_deterministically() {
+    let _guard = guard();
+    for seed in seeds() {
+        let flushers = flushers_for(seed);
+        let predicted: u64 = flushers.iter().map(|&w| contribution(seed, w)).sum();
+        let report = run_loss_window(seed, &flushers);
+        // Only the guarded workers' contributions are visible at the join
+        // point — the exact historical symptom, reproduced on demand.
+        assert_eq!(
+            report.observed_at_join, predicted,
+            "seed {seed:#x}: join-point snapshot disagrees with the flusher set {flushers:?}"
+        );
+        let loss = report.expected - report.observed_at_join;
+        assert!(
+            loss > 0,
+            "seed {seed:#x}: removing the flush guard must lose counts in the window"
+        );
+        // Conservation: the window delays merges, it never destroys them.
+        assert_eq!(
+            report.after_release, report.expected,
+            "seed {seed:#x}: counts were permanently lost, not just delayed"
+        );
+    }
+}
+
+#[test]
+fn scoped_flush_guard_restores_exact_totals() {
+    let _guard = guard();
+    for seed in seeds() {
+        // Same machinery, guard present on every worker: the join-point
+        // snapshot is already exact. This is the regression guard for the
+        // scoped-flush discipline (and for the `scoped-flush` lint's
+        // runtime premise).
+        let all: BTreeSet<usize> = (0..WORKERS).collect();
+        let report = run_loss_window(seed, &all);
+        assert_eq!(
+            report.observed_at_join, report.expected,
+            "seed {seed:#x}: guarded workers must be fully merged at scope join"
+        );
+        assert_eq!(report.after_release, report.expected);
+    }
+}
+
+#[test]
+fn race_seed_count_parses_strictly() {
+    assert_eq!(parse_race_seeds(None), Ok(DEFAULT_SEEDS));
+    assert_eq!(parse_race_seeds(Some("")), Ok(DEFAULT_SEEDS));
+    assert_eq!(parse_race_seeds(Some("  ")), Ok(DEFAULT_SEEDS));
+    assert_eq!(parse_race_seeds(Some("8")), Ok(8));
+    assert_eq!(parse_race_seeds(Some(" 12 ")), Ok(12));
+    for bad in ["0", "-1", "eight", "8x", "on"] {
+        let err = parse_race_seeds(Some(bad)).unwrap_err();
+        assert!(err.contains("SURFNET_RACE_SEEDS"), "{err}");
+        assert!(err.contains("positive integer"), "{err}");
+    }
+}
