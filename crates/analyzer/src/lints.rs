@@ -421,11 +421,12 @@ impl Lint for PanicSite {
 }
 
 /// Every metric name literal passed to `span!`/`count!`/`event!`/`timer()`/
-/// `counter()` must be registered in `surfnet_telemetry::catalog` with the
-/// matching kind. `event!` is matched in all its forms — `event!("name")`,
-/// `event!("name", arg)`, and the phase-token forms `event!(begin "name")` /
-/// `event!(end "name")`. Reports at error severity: a typo'd name records
-/// into a series nobody reads.
+/// `counter()`/`counter_family()`/`histogram_family()` must be registered
+/// in `surfnet_telemetry::catalog` with the matching kind. `event!` is
+/// matched in all its forms — `event!("name")`, `event!("name", arg)`, and
+/// the phase-token forms `event!(begin "name")` / `event!(end "name")`;
+/// both family constructors require the `Family` kind. Reports at error
+/// severity: a typo'd name records into a series nobody reads.
 struct TelemetryName;
 
 impl Lint for TelemetryName {
@@ -465,8 +466,12 @@ impl Lint for TelemetryName {
                     && ts.get(i + 4).is_some_and(|a| a.kind == TokenKind::Str)
                 {
                     Some((t.text.as_str(), 4))
-                // timer("name") / counter("name")
-                } else if (is_ident(t, "timer") || is_ident(t, "counter"))
+                // timer("name") / counter("name") / counter_family("name")
+                // / histogram_family("name")
+                } else if (is_ident(t, "timer")
+                    || is_ident(t, "counter")
+                    || is_ident(t, "counter_family")
+                    || is_ident(t, "histogram_family"))
                     && ts.get(i + 1).is_some_and(|a| is_punct(a, "("))
                     && ts.get(i + 2).is_some_and(|a| a.kind == TokenKind::Str)
                 {
@@ -480,6 +485,7 @@ impl Lint for TelemetryName {
             let want = match call {
                 "span" | "timer" => MetricKind::Timer,
                 "event" => MetricKind::Event,
+                "counter_family" | "histogram_family" => MetricKind::Family,
                 _ => MetricKind::Counter,
             };
             let metric = &ts[i + name_off].text;

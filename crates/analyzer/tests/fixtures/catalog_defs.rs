@@ -1,5 +1,12 @@
 //! catalog-unused fixture: stands in for `telemetry/src/catalog.rs` (the
 //! lint keys on the path label). `demo.used` is referenced by the usage
-//! fixture; `demo.unused` is dead weight.
+//! fixture; `demo.unused` is dead weight. Metric-family entries look like
+//! any other metric name, so `demo.family.used` / `demo.family.unused`
+//! exercise the same heuristic for `Family`-kind registrations.
 
-pub const CATALOG: &[(&str, u8)] = &[("demo.used", 0), ("demo.unused", 0)];
+pub const CATALOG: &[(&str, u8)] = &[
+    ("demo.family.unused", 3),
+    ("demo.family.used", 3),
+    ("demo.unused", 0),
+    ("demo.used", 0),
+];

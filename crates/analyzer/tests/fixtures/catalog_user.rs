@@ -1,5 +1,11 @@
-//! catalog-unused fixture: the file that keeps `demo.used` alive.
+//! catalog-unused fixture: the file that keeps `demo.used` and the
+//! `demo.family.used` family alive.
 
 pub fn touch() -> &'static str {
     "demo.used"
+}
+
+pub fn touch_family() {
+    // analyzer:allow(telemetry-name): fixture name is not in the real catalog
+    let _f = surfnet_telemetry::dim::counter_family("demo.family.used");
 }

@@ -1,6 +1,7 @@
 //! Fixture for the `telemetry-name` lint: a typo'd metric, a kind
-//! mismatch, a registered use, a suppressed unregistered use, and the
-//! journal `event!` macro in all its forms.
+//! mismatch, a registered use, a suppressed unregistered use, the
+//! journal `event!` macro in all its forms, and the labeled
+//! `counter_family`/`histogram_family` constructors.
 //! Analyzed as text; never compiled.
 
 pub fn typo() {
@@ -50,6 +51,32 @@ pub fn event_registered() {
 pub fn stage_typo() {
     // `decod` — the registered per-stage histogram is `trial.stage.decode`.
     let _s = surfnet_telemetry::span!("trial.stage.decod");
+}
+
+pub fn family_registered() {
+    let _f = surfnet_telemetry::dim::counter_family("netsim.link.attempts");
+    let _h = surfnet_telemetry::dim::histogram_family("decoder.distance.decode_latency");
+}
+
+pub fn family_typo() {
+    // `attempt` — the registered family is `netsim.link.attempts`.
+    let _f = surfnet_telemetry::dim::counter_family("netsim.link.attempt");
+}
+
+pub fn family_name_via_flat_counter() {
+    // A Family name recorded through the flat counter macro is a kind
+    // mismatch: the labeled series would silently never receive the data.
+    surfnet_telemetry::count!("netsim.link.successes");
+}
+
+pub fn flat_name_via_family() {
+    // And the converse: a Counter name used as a family constructor.
+    let _f = surfnet_telemetry::dim::histogram_family("lp.solves");
+}
+
+pub fn family_grandfathered() {
+    // analyzer:allow(telemetry-name): fixture demonstrates suppression
+    let _f = surfnet_telemetry::dim::counter_family("legacy.family");
 }
 
 pub fn stage_registered() {

@@ -98,7 +98,7 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
         .iter()
         .filter(|d| d.lint == "telemetry-name")
         .collect();
-    assert_eq!(findings.len(), 6, "{:#?}", r.diagnostics);
+    assert_eq!(findings.len(), 9, "{:#?}", r.diagnostics);
     assert!(findings.iter().all(|d| d.severity == Severity::Error));
     assert!(findings
         .iter()
@@ -131,7 +131,25 @@ fn telemetry_name_fires_at_error_severity_and_respects_allow() {
         .iter()
         .any(|d| d.message.contains("trial.stage.decode")));
     assert!(!findings.iter().any(|d| d.message.contains("trial.run")));
-    assert_eq!(r.suppressed, 1);
+    // Metric families: the typo'd family name fires, a Family name pushed
+    // through the flat `count!` macro fires as a kind mismatch (and so
+    // does the converse), while registered constructor uses stay clean.
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("\"netsim.link.attempt\"")));
+    assert!(!findings
+        .iter()
+        .any(|d| d.message.contains("\"netsim.link.attempts\"")));
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("registered as a Family") && d.message.contains("`count`")));
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("used via `histogram_family`")));
+    assert!(!findings
+        .iter()
+        .any(|d| d.message.contains("decoder.distance.decode_latency")));
+    assert_eq!(r.suppressed, 2);
 }
 
 #[test]
@@ -241,9 +259,17 @@ fn catalog_unused_flags_dead_entries_across_files() {
         .iter()
         .filter(|d| d.lint == "catalog-unused")
         .collect();
-    assert_eq!(findings.len(), 1, "{:#?}", r.diagnostics);
-    assert!(findings[0].message.contains("demo.unused"));
-    assert!(findings[0].path.ends_with("catalog.rs"));
+    // Both the dead flat entry and the dead family entry fire; the
+    // referenced ones (plain literal and `counter_family` constructor)
+    // stay clean.
+    assert_eq!(findings.len(), 2, "{:#?}", r.diagnostics);
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("\"demo.unused\"")));
+    assert!(findings
+        .iter()
+        .any(|d| d.message.contains("\"demo.family.unused\"")));
+    assert!(findings.iter().all(|d| d.path.ends_with("catalog.rs")));
     // A fixture set without the defining file never mass-fires.
     let r = analyze_source("crates/core/src/catalog_user.rs", CATALOG_USER);
     assert_eq!(count(&r, "catalog-unused"), 0);

@@ -3,11 +3,15 @@
 //!
 //! Usage: `cargo run -p surfnet-bench --bin bench-diff -- \
 //!     <baseline.json> <candidate.json> [--tol 0.05] [--counters] [--counter-tol 0.5] \
-//!     [--stages] [--stage-tol 0.5]`
+//!     [--stages] [--stage-tol 0.5] [--groups] [--group-tol 0]`
 //!
 //! `--stages` also compares the per-stage timer means (`trial.run` and
 //! `trial.stage.*` mean_ns, lower-is-better) under `--stage-tol` — a
-//! loose default, since stage times are wall-clock.
+//! loose default, since stage times are wall-clock. `--groups` compares
+//! the grouped metric-family series (`name{label}` keys) under
+//! `--group-tol`; group values are deterministic for seeded runs, so the
+//! default group tolerance is 0, and a label missing from the candidate
+//! is a regression.
 //!
 //! Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
 //! malformed report.
@@ -29,7 +33,7 @@ fn main() {
         for a in &args {
             if skip {
                 skip = false;
-            } else if a == "--counters" || a == "--stages" {
+            } else if a == "--counters" || a == "--stages" || a == "--groups" {
                 // bare flags
             } else if a.starts_with("--") {
                 skip = true;
@@ -42,18 +46,27 @@ fn main() {
     let [baseline_path, candidate_path] = positional.as_slice() else {
         eprintln!(
             "usage: bench-diff <baseline.json> <candidate.json> [--tol T] \
-             [--counters] [--counter-tol T] [--stages] [--stage-tol T]"
+             [--counters] [--counter-tol T] [--stages] [--stage-tol T] \
+             [--groups] [--group-tol T]"
         );
         std::process::exit(2);
     };
     let tol = arg_or(&args, "--tol", 0.05f64);
     let counter_tol = has_flag(&args, "--counters").then(|| arg_or(&args, "--counter-tol", 0.5f64));
     let stage_tol = has_flag(&args, "--stages").then(|| arg_or(&args, "--stage-tol", 0.5f64));
+    let group_tol = has_flag(&args, "--groups").then(|| arg_or(&args, "--group-tol", 0.0f64));
 
     let result = load(baseline_path)
         .and_then(|baseline| load(candidate_path).map(|candidate| (baseline, candidate)))
         .and_then(|(baseline, candidate)| {
-            diff::diff(&baseline, &candidate, tol, counter_tol, stage_tol)
+            diff::diff(
+                &baseline,
+                &candidate,
+                tol,
+                counter_tol,
+                stage_tol,
+                group_tol,
+            )
         });
     match result {
         Ok(report) => {

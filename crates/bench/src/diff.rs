@@ -178,10 +178,15 @@ fn compare(
 ///
 /// `tol` is the relative tolerance for `metrics`; counters are compared
 /// too when `counter_tol` is given (they get their own, typically much
-/// looser, tolerance), and the per-stage timer means (`trial.run` and
+/// looser, tolerance), the per-stage timer means (`trial.run` and
 /// `trial.stage.*`, as `<name>/mean_ns` keys, lower-is-better) when
 /// `stage_tol` is given — stage times are wall-clock, so its tolerance
-/// should be loose too.
+/// should be loose too — and the grouped metric-family series
+/// (`name{label}` keys from the `groups` object) when `group_tol` is
+/// given. Group values are counter values / histogram sample counts
+/// (deterministic for seeded runs), so a zero group tolerance is the
+/// normal CI setting; a label vanishing from a family surfaces through
+/// the usual missing-key regression.
 ///
 /// # Errors
 ///
@@ -193,6 +198,7 @@ pub fn diff(
     tol: f64,
     counter_tol: Option<f64>,
     stage_tol: Option<f64>,
+    group_tol: Option<f64>,
 ) -> Result<DiffReport, String> {
     check_schema(baseline, "baseline")?;
     check_schema(candidate, "candidate")?;
@@ -229,6 +235,14 @@ pub fn diff(
             &stage_timers(baseline)?,
             &stage_timers(candidate)?,
             stol,
+            &mut report,
+        );
+    }
+    if let Some(gtol) = group_tol {
+        compare(
+            &object(baseline, "groups")?,
+            &object(candidate, "groups")?,
+            gtol,
             &mut report,
         );
     }
@@ -273,7 +287,7 @@ mod tests {
     #[test]
     fn identical_reports_have_zero_regressions() {
         let r = report(&[("a/fidelity", 0.9), ("a/latency", 10.0)]);
-        let d = diff(&r, &r, 0.0, None, None).unwrap();
+        let d = diff(&r, &r, 0.0, None, None, None).unwrap();
         assert!(!d.has_regressions());
         assert_eq!(d.rows.len(), 2);
     }
@@ -282,14 +296,14 @@ mod tests {
     fn worse_fidelity_and_worse_latency_regress() {
         let base = report(&[("a/fidelity", 0.9), ("a/latency", 10.0)]);
         let worse = report(&[("a/fidelity", 0.8), ("a/latency", 12.0)]);
-        let d = diff(&base, &worse, 0.05, None, None).unwrap();
+        let d = diff(&base, &worse, 0.05, None, None, None).unwrap();
         assert_eq!(d.regressions().len(), 2);
         // The same movement inside tolerance passes.
-        let d = diff(&base, &worse, 0.25, None, None).unwrap();
+        let d = diff(&base, &worse, 0.25, None, None, None).unwrap();
         assert!(!d.has_regressions());
         // Movement in the *good* direction is never a regression.
         let better = report(&[("a/fidelity", 0.99), ("a/latency", 5.0)]);
-        let d = diff(&base, &better, 0.0, None, None).unwrap();
+        let d = diff(&base, &better, 0.0, None, None, None).unwrap();
         assert!(!d.has_regressions());
     }
 
@@ -297,7 +311,7 @@ mod tests {
     fn missing_metric_is_a_regression_added_is_not() {
         let base = report(&[("a/fidelity", 0.9), ("b/fidelity", 0.9)]);
         let cand = report(&[("a/fidelity", 0.9), ("c/fidelity", 0.9)]);
-        let d = diff(&base, &cand, 0.05, None, None).unwrap();
+        let d = diff(&base, &cand, 0.05, None, None, None).unwrap();
         assert!(d.has_regressions());
         assert_eq!(d.missing, vec!["b/fidelity".to_string()]);
         assert_eq!(d.added, vec!["c/fidelity".to_string()]);
@@ -340,26 +354,81 @@ mod tests {
             ],
         );
         // Without a stage tolerance the slowdown is invisible.
-        let d = diff(&base, &slower, 0.0, None, None).unwrap();
+        let d = diff(&base, &slower, 0.0, None, None, None).unwrap();
         assert!(!d.has_regressions());
         // With one, the decode stage regresses (mean_ns is lower-is-better)
         // and the non-stage timer still doesn't participate.
-        let d = diff(&base, &slower, 0.0, None, Some(0.2)).unwrap();
+        let d = diff(&base, &slower, 0.0, None, Some(0.2), None).unwrap();
         assert_eq!(d.regressions().len(), 1);
         assert_eq!(d.regressions()[0].name, "trial.stage.decode/mean_ns");
         // A loose enough tolerance passes, and faster stages never regress.
-        assert!(!diff(&base, &slower, 0.0, None, Some(2.0))
+        assert!(!diff(&base, &slower, 0.0, None, Some(2.0), None)
             .unwrap()
             .has_regressions());
-        assert!(!diff(&slower, &base, 0.0, None, Some(0.0))
+        assert!(!diff(&slower, &base, 0.0, None, Some(0.0), None)
             .unwrap()
             .has_regressions());
         // A baseline predating stage timers compares nothing but errors on
         // a missing `timers` object outright.
         let old = report(&[("a/fidelity", 0.9)]);
-        assert!(diff(&old, &slower, 0.0, None, Some(0.2))
+        assert!(diff(&old, &slower, 0.0, None, Some(0.2), None)
             .unwrap_err()
             .contains("timers"));
+    }
+
+    fn report_with_groups(groups: &[(&str, f64)]) -> Value {
+        let body: String = groups
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        Value::parse(&format!(
+            "{{\"schema\":\"surfnet-bench/v1\",\"figure\":\"t\",\
+             \"metrics\":{{}},\"counters\":{{}},\"groups\":{{{body}}}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_series_compare_only_when_requested() {
+        let base = report_with_groups(&[
+            ("netsim.link.attempts{0-1}", 700.0),
+            ("netsim.link.attempts{1-2}", 450.0),
+        ]);
+        let drifted = report_with_groups(&[
+            ("netsim.link.attempts{0-1}", 710.0),
+            ("netsim.link.attempts{1-2}", 450.0),
+        ]);
+        // Without a group tolerance the drift is invisible.
+        assert!(!diff(&base, &drifted, 0.0, None, None, None)
+            .unwrap()
+            .has_regressions());
+        // Attempts carry no lower-is-better marker, so only a *drop*
+        // regresses at zero tolerance; the higher candidate passes.
+        assert!(!diff(&base, &drifted, 0.0, None, None, Some(0.0))
+            .unwrap()
+            .has_regressions());
+        let d = diff(&drifted, &base, 0.0, None, None, Some(0.0)).unwrap();
+        assert_eq!(d.regressions().len(), 1);
+        assert_eq!(d.regressions()[0].name, "netsim.link.attempts{0-1}");
+    }
+
+    #[test]
+    fn vanished_group_label_is_a_regression() {
+        let base = report_with_groups(&[
+            ("netsim.link.attempts{0-1}", 700.0),
+            ("netsim.link.attempts{1-2}", 450.0),
+        ]);
+        let lost_label = report_with_groups(&[("netsim.link.attempts{0-1}", 700.0)]);
+        let d = diff(&base, &lost_label, 0.0, None, None, Some(0.0)).unwrap();
+        assert!(d.has_regressions());
+        assert_eq!(d.missing, vec!["netsim.link.attempts{1-2}".to_string()]);
+        // A baseline predating grouped exports errors outright rather than
+        // silently comparing nothing.
+        let old = report(&[]);
+        assert!(diff(&old, &base, 0.0, None, None, Some(0.0))
+            .unwrap_err()
+            .contains("groups"));
     }
 
     #[test]
@@ -367,11 +436,11 @@ mod tests {
         let a = report(&[]);
         let mut b_text = a.to_string().replace("\"t\"", "\"u\"");
         let b = Value::parse(&b_text).unwrap();
-        assert!(diff(&a, &b, 0.05, None, None)
+        assert!(diff(&a, &b, 0.05, None, None, None)
             .unwrap_err()
             .contains("different"));
         b_text = a.to_string().replace("surfnet-bench/v1", "x/y");
         let b = Value::parse(&b_text).unwrap();
-        assert!(diff(&b, &a, 0.05, None, None).is_err());
+        assert!(diff(&b, &a, 0.05, None, None, None).is_err());
     }
 }

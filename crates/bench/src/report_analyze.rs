@@ -62,6 +62,26 @@ pub struct GaugeSummary {
     pub max: f64,
 }
 
+/// One network link's entanglement traffic, reconstructed from the final
+/// stats sample's grouped `netsim.link.*` families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotLink {
+    /// Rendered link label (`"<lo>-<hi>"` endpoint pair).
+    pub link: String,
+    /// Cumulative entanglement generation attempts across the link.
+    pub attempts: u64,
+    /// Cumulative successful pair deliveries across the link.
+    pub successes: u64,
+}
+
+impl HotLink {
+    /// Fraction of attempts that failed to deliver a pair. `attempts` is
+    /// always nonzero (zero-attempt links are not collected).
+    pub fn failure_rate(&self) -> f64 {
+        1.0 - self.successes as f64 / self.attempts as f64
+    }
+}
+
 /// Everything the `report` binary prints.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -78,6 +98,10 @@ pub struct RunReport {
     /// `journal.dropped` from the final stats sample (0 when no stats
     /// series was supplied). Non-zero means the breakdown is approximate.
     pub journal_dropped: u64,
+    /// Per-link traffic from the final stats sample's grouped families,
+    /// most attempts first (ties broken by link label). Empty when the run
+    /// recorded no per-link families.
+    pub hot_links: Vec<HotLink>,
 }
 
 /// A begin/end frame being matched during replay.
@@ -222,7 +246,54 @@ pub fn analyze(events: &[OwnedEvent], stats: &[Value]) -> RunReport {
         .and_then(|c| c.get("journal.dropped"))
         .and_then(Value::as_u64)
         .unwrap_or(0);
+    report.hot_links = hot_links(stats);
     report
+}
+
+/// Collects per-link traffic from the final stats sample's flattened
+/// `groups` object (`netsim.link.attempts{lo-hi}` /
+/// `netsim.link.successes{lo-hi}` keys), most attempts first. The
+/// `__overflow` bucket aggregates many links, so it is excluded.
+fn hot_links(stats: &[Value]) -> Vec<HotLink> {
+    let Some(groups) = stats
+        .last()
+        .and_then(|r| r.get("groups"))
+        .and_then(Value::as_object)
+    else {
+        return Vec::new();
+    };
+    let series = |name: &str, label: &str| {
+        let key = format!("{name}{{{label}}}");
+        groups
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.as_u64())
+    };
+    let mut links: Vec<HotLink> = groups
+        .iter()
+        .filter_map(|(key, _)| {
+            key.strip_prefix("netsim.link.attempts{")
+                .and_then(|rest| rest.strip_suffix('}'))
+        })
+        .filter(|label| *label != "__overflow")
+        .filter_map(|label| {
+            let attempts = series("netsim.link.attempts", label)?;
+            if attempts == 0 {
+                return None;
+            }
+            Some(HotLink {
+                link: label.to_string(),
+                attempts,
+                successes: series("netsim.link.successes", label).unwrap_or(0),
+            })
+        })
+        .collect();
+    links.sort_by(|a, b| {
+        b.attempts
+            .cmp(&a.attempts)
+            .then_with(|| a.link.cmp(&b.link))
+    });
+    links
 }
 
 fn ms(ns: u64) -> String {
@@ -301,6 +372,44 @@ impl RunReport {
             }
         }
 
+        out.push_str("\n## Hot links\n\n");
+        if self.hot_links.is_empty() {
+            out.push_str(
+                "no per-link families in the stats series \
+                 (was `SURFNET_STATS` set with telemetry enabled?)\n",
+            );
+        } else {
+            let row = |l: &HotLink| {
+                format!(
+                    "| {} | {} | {} | {:.1}% |\n",
+                    l.link,
+                    l.attempts,
+                    l.successes,
+                    l.failure_rate() * 100.0
+                )
+            };
+            out.push_str(&format!("Top {top_k} by attempts:\n\n"));
+            out.push_str("| link | attempts | successes | failure rate |\n|---|---|---|---|\n");
+            for l in self.hot_links.iter().take(top_k) {
+                out.push_str(&row(l));
+            }
+            // Same links re-ranked by failure rate (ties broken by
+            // attempts, then label — failure rates are exact ratios of the
+            // deterministic counts, so this ordering is reproducible).
+            let mut by_rate: Vec<&HotLink> = self.hot_links.iter().collect();
+            by_rate.sort_by(|a, b| {
+                b.failure_rate()
+                    .total_cmp(&a.failure_rate())
+                    .then_with(|| b.attempts.cmp(&a.attempts))
+                    .then_with(|| a.link.cmp(&b.link))
+            });
+            out.push_str(&format!("\nTop {top_k} by failure rate:\n\n"));
+            out.push_str("| link | attempts | successes | failure rate |\n|---|---|---|---|\n");
+            for l in by_rate.iter().take(top_k) {
+                out.push_str(&row(l));
+            }
+        }
+
         out.push_str("\n## Rate curves\n\n");
         if self.gauges.is_empty() {
             out.push_str("no gauges in the stats series (was `SURFNET_STATS` set?)\n");
@@ -360,6 +469,19 @@ impl RunReport {
                 ])
             })
             .collect();
+        let hot_links: Value = self
+            .hot_links
+            .iter()
+            .take(top_k)
+            .map(|l| {
+                json::obj(vec![
+                    ("link", Value::from(l.link.as_str())),
+                    ("attempts", Value::from(l.attempts)),
+                    ("successes", Value::from(l.successes)),
+                    ("failure_rate", Value::Num(l.failure_rate())),
+                ])
+            })
+            .collect();
         json::obj(vec![
             ("schema", Value::from(SCHEMA)),
             ("trial_count", Value::from(self.trials.len())),
@@ -369,6 +491,7 @@ impl RunReport {
             ("stages", stages),
             ("slowest_trials", trials),
             ("gauges", gauges),
+            ("hot_links", hot_links),
         ])
     }
 }
@@ -493,6 +616,58 @@ mod tests {
         let markdown = report.render_markdown(5);
         assert!(markdown.contains("WARNING"), "{markdown}");
         assert!(markdown.contains("journal dropped 7 events"), "{markdown}");
+    }
+
+    #[test]
+    fn hot_links_come_from_the_final_stats_sample() {
+        let stats = vec![
+            Value::parse(
+                r#"{"schema":"surfnet-stats/v1","t_ms":500,"counters":{},
+                   "groups":{"netsim.link.attempts{0-1}":10,
+                             "netsim.link.successes{0-1}":10}}"#,
+            )
+            .unwrap(),
+            Value::parse(
+                r#"{"schema":"surfnet-stats/v1","t_ms":1000,"counters":{},
+                   "groups":{"netsim.link.attempts{0-1}":100,
+                             "netsim.link.successes{0-1}":80,
+                             "netsim.link.attempts{1-2}":400,
+                             "netsim.link.successes{1-2}":390,
+                             "netsim.link.attempts{__overflow}":9,
+                             "netsim.link.successes{__overflow}":3,
+                             "netsim.link.attempts{2-3}":0,
+                             "routing.request.code_distance{d5}":12}}"#,
+            )
+            .unwrap(),
+        ];
+        let report = analyze(&[], &stats);
+        // Only the last sample counts; overflow and zero-attempt links are
+        // excluded; most attempts first.
+        assert_eq!(
+            report
+                .hot_links
+                .iter()
+                .map(|l| (l.link.as_str(), l.attempts, l.successes))
+                .collect::<Vec<_>>(),
+            [("1-2", 400, 390), ("0-1", 100, 80)]
+        );
+        assert!((report.hot_links[1].failure_rate() - 0.2).abs() < 1e-12);
+        let md = report.render_markdown(5);
+        assert!(md.contains("## Hot links"), "{md}");
+        assert!(md.contains("| 0-1 | 100 | 80 | 20.0% |"), "{md}");
+        // The failure-rate ranking puts the lossier 0-1 link first.
+        let by_rate = md.split("by failure rate").nth(1).unwrap();
+        let pos_01 = by_rate.find("| 0-1 |").unwrap();
+        let pos_12 = by_rate.find("| 1-2 |").unwrap();
+        assert!(pos_01 < pos_12, "{md}");
+        let v = report.to_json(5);
+        let links = v.get("hot_links").and_then(Value::as_array).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].get("link").and_then(Value::as_str), Some("1-2"));
+        // Runs without per-link families render the placeholder instead.
+        let empty = analyze(&[], &[]);
+        assert!(empty.hot_links.is_empty());
+        assert!(empty.render_markdown(5).contains("no per-link families"));
     }
 
     #[test]

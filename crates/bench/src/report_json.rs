@@ -11,7 +11,8 @@
 //!   "params": { "trials": 4, "seed": 70000 },
 //!   "metrics": { "abundant/good/SurfNet/fidelity": 0.91, ... },
 //!   "counters": { "decoder.growth_rounds": 12345, ... },
-//!   "timers": { "pipeline.evaluate": { "count": 80, "total_ns": ..., ... } }
+//!   "timers": { "pipeline.evaluate": { "count": 80, "total_ns": ..., ... } },
+//!   "groups": { "netsim.link.attempts{0-1}": 731, ... }
 //! }
 //! ```
 //!
@@ -124,6 +125,20 @@ pub fn report(figure: &str, params: Vec<(&str, Value)>, metrics: &[(String, f64)
             .map(|(name, v)| (name.clone(), Value::from(*v)))
             .collect(),
     );
+    // Metric families flatten to `name{label}` keys. Only the deterministic
+    // face of a family is exported — counter values and histogram sample
+    // counts, never accumulated durations — so grouped sections diff at
+    // zero tolerance across reruns of a seeded workload.
+    let groups = Value::Obj(
+        snap.groups
+            .iter()
+            .flat_map(|fam| {
+                fam.labels
+                    .iter()
+                    .map(|l| (format!("{}{{{}}}", fam.name, l.label), Value::from(l.value)))
+            })
+            .collect(),
+    );
     let timers = Value::Obj(
         snap.timers
             .iter()
@@ -158,6 +173,7 @@ pub fn report(figure: &str, params: Vec<(&str, Value)>, metrics: &[(String, f64)
         ),
         ("counters", counters),
         ("timers", timers),
+        ("groups", groups),
     ])
 }
 
@@ -209,9 +225,10 @@ mod tests {
         let m = r.get("metrics").expect("metrics");
         assert_eq!(m.get("a/fidelity").and_then(Value::as_f64), Some(0.5));
         assert_eq!(m.get("a/latency").and_then(Value::as_f64), Some(7.25));
-        // Counters/timers objects exist even with telemetry off.
+        // Counters/timers/groups objects exist even with telemetry off.
         assert!(r.get("counters").and_then(Value::as_object).is_some());
         assert!(r.get("timers").and_then(Value::as_object).is_some());
+        assert!(r.get("groups").and_then(Value::as_object).is_some());
         // And the whole thing round-trips through the parser.
         let text = r.to_string();
         assert_eq!(Value::parse(&text).unwrap(), r);

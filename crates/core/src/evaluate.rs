@@ -28,6 +28,7 @@ use surfnet_lattice::{
     LANES_PER_WORD,
 };
 use surfnet_netsim::execution::{ExecutionOutcome, SegmentOutcome};
+use surfnet_telemetry::dim::{self, LabelKey};
 
 /// Which decoder the servers run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -279,6 +280,9 @@ impl DecoderCache {
         if !outcome.completed {
             return Ok(false);
         }
+        let latency_fam = dim::histogram_family("decoder.distance.decode_latency");
+        let errors_fam = dim::counter_family("evaluate.segment.logical_errors");
+        let dist_key = LabelKey::Distance(code.distance() as u16);
         let mut ok = true;
         for (idx, segment) in outcome.segments.iter().enumerate() {
             let _seg = surfnet_telemetry::trace::segment_scope(idx as u64);
@@ -288,27 +292,30 @@ impl DecoderCache {
             } = self;
             let entry = &entries[i].1;
             let sample = entry.model.sample(rng);
-            let result = if flight::armed() {
-                flight::set_segment(idx);
-                // A tripped SURFNET_CHECK invariant aborts the process;
-                // with the recorder armed, capture the offending shot
-                // first so the panic leaves a replayable artifact behind.
-                match catch_unwind(AssertUnwindSafe(|| {
-                    entry.decoder.decode_sample_with(code, &sample, workspace)
-                })) {
-                    Ok(result) => result,
-                    Err(payload) => {
-                        let message = flight::panic_text(&payload);
-                        flight::capture_invariant_panic(code, &entry.model, &sample, &message);
-                        resume_unwind(payload)
+            let result = latency_fam.time(dist_key, || {
+                if flight::armed() {
+                    flight::set_segment(idx);
+                    // A tripped SURFNET_CHECK invariant aborts the process;
+                    // with the recorder armed, capture the offending shot
+                    // first so the panic leaves a replayable artifact behind.
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        entry.decoder.decode_sample_with(code, &sample, workspace)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            let message = flight::panic_text(&payload);
+                            flight::capture_invariant_panic(code, &entry.model, &sample, &message);
+                            resume_unwind(payload)
+                        }
                     }
+                } else {
+                    entry.decoder.decode_sample_with(code, &sample, workspace)
                 }
-            } else {
-                entry.decoder.decode_sample_with(code, &sample, workspace)
-            };
+            });
             debug_assert!(result.syndrome_cleared);
             if !result.is_success() {
                 surfnet_telemetry::event!("evaluate.shot_failed");
+                errors_fam.incr(LabelKey::Segment(idx as u32));
                 flight::capture_logical_error(code, &entry.model, &sample);
                 ok = false;
             }
@@ -379,6 +386,7 @@ impl DecoderCache {
                 }
                 let lane = acc.batch.push_lane();
                 acc.transfers.push(t);
+                acc.segments.push(idx);
                 self.entries[i]
                     .1
                     .model
@@ -412,37 +420,50 @@ impl DecoderCache {
             workspace,
             batch_scratch,
         } = self;
-        let outcomes = decode_batch_with(
-            &entries[i].1.decoder,
-            code,
-            &acc.batch,
-            workspace,
-            batch_scratch,
-        )
-        .expect("decoding a well-formed surface code sample cannot fail");
+        // One flush decodes many shots: attribute the elapsed time to one
+        // sample per lane so the per-distance sample counts stay bit-equal
+        // to the scalar path's one-sample-per-decode.
+        let latency_fam = dim::histogram_family("decoder.distance.decode_latency");
+        let errors_fam = dim::counter_family("evaluate.segment.logical_errors");
+        let lanes = acc.transfers.len() as u64;
+        let outcomes =
+            latency_fam.time_split(LabelKey::Distance(code.distance() as u16), lanes, || {
+                decode_batch_with(
+                    &entries[i].1.decoder,
+                    code,
+                    &acc.batch,
+                    workspace,
+                    batch_scratch,
+                )
+                .expect("decoding a well-formed surface code sample cannot fail")
+            });
         for (lane, result) in outcomes.iter().enumerate() {
             debug_assert!(result.syndrome_cleared);
             if !result.is_success() {
                 // A flush mixes lanes from many transfers; stamp the event
-                // with the failing lane's own transfer, not whichever
-                // transfer happened to trigger the flush.
+                // with the failing lane's own transfer and segment, not
+                // whichever transfer happened to trigger the flush.
                 let _req = surfnet_telemetry::trace::request_scope(acc.transfers[lane] as u64);
+                let _seg = surfnet_telemetry::trace::segment_scope(acc.segments[lane] as u64);
                 surfnet_telemetry::event!("evaluate.shot_failed");
+                errors_fam.incr(LabelKey::Segment(acc.segments[lane] as u32));
                 verdicts[acc.transfers[lane]] = false;
             }
         }
         acc.batch.clear();
         acc.transfers.clear();
+        acc.segments.clear();
     }
 }
 
 /// Pending shots of one cache entry awaiting a batched decode: the packed
 /// samples plus, per lane, the index of the transfer whose verdict the
-/// lane's outcome feeds.
+/// lane's outcome feeds and the segment index the lane decodes.
 #[derive(Debug, Default)]
 struct BatchAccum {
     batch: ErrorBatch,
     transfers: Vec<usize>,
+    segments: Vec<usize>,
 }
 
 /// Samples and decodes every segment of one executed transfer with a

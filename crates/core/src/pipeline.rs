@@ -189,6 +189,12 @@ pub fn run_trial_on<R: Rng + ?Sized>(
                     Design::Purification(_) => unreachable!(),
                 }
             };
+            // Attribute the scheduled codes to the trial's code distance —
+            // the per-distance axis the grouped bench exports break down by.
+            surfnet_telemetry::dim::counter_family("routing.request.code_distance").add(
+                surfnet_telemetry::dim::LabelKey::Distance(cfg.code_distance as u16),
+                schedule.codes.len() as u64,
+            );
             let outcomes: Vec<_> = {
                 let _span = surfnet_telemetry::span!("pipeline.execute");
                 if cfg.concurrent_execution {

@@ -10,9 +10,10 @@
 //! with a rotating head so no transfer starves.
 
 use crate::entanglement::core_segment_fidelity;
-use crate::execution::{ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
+use crate::execution::{link_key, ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
 use crate::topology::Network;
 use rand::Rng;
+use surfnet_telemetry::dim;
 
 /// Per-transfer progress through its plan.
 #[derive(Debug)]
@@ -74,6 +75,17 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
         })
         .collect();
 
+    // Per-fiber attempt/success tallies for the dim metric families,
+    // accumulated across all ticks and emitted once after the loop. Sized
+    // zero when telemetry is disabled so the hot loop skips the bookkeeping.
+    let tally_len = if surfnet_telemetry::enabled() {
+        net.num_fibers()
+    } else {
+        0
+    };
+    let mut fiber_attempts: Vec<u64> = vec![0; tally_len];
+    let mut fiber_successes: Vec<u64> = vec![0; tally_len];
+
     let mut tick: u64 = 0;
     while tick < config.max_ticks && states.iter().any(|s| !s.finished && !s.failed) {
         tick += 1;
@@ -83,8 +95,14 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
             let cap = net.fiber(f).entanglement_capacity;
             if *pool < cap {
                 attempts += 1;
+                if let Some(a) = fiber_attempts.get_mut(f) {
+                    *a += 1;
+                }
                 if rng.gen::<f64>() < config.entanglement_rate {
                     *pool += 1;
+                    if let Some(s) = fiber_successes.get_mut(f) {
+                        *s += 1;
+                    }
                 }
             }
         }
@@ -101,6 +119,19 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
                 continue;
             }
             step_transfer(net, &plans[i], &mut states[i], &mut pools, config, tick);
+        }
+    }
+
+    if tally_len > 0 {
+        let attempts_fam = dim::counter_family("netsim.link.attempts");
+        let successes_fam = dim::counter_family("netsim.link.successes");
+        for f in 0..tally_len {
+            if fiber_attempts[f] == 0 {
+                continue;
+            }
+            let key = link_key(net, f);
+            attempts_fam.add(key, fiber_attempts[f]);
+            successes_fam.add(key, fiber_successes[f]);
         }
     }
 

@@ -13,6 +13,35 @@ use crate::entanglement::{core_segment_fidelity, purify};
 use crate::topology::{FiberId, Network, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use surfnet_telemetry::dim;
+
+/// Labels a fiber's series in the per-link metric families by its
+/// (normalized) endpoint pair.
+pub(crate) fn link_key(net: &Network, f: FiberId) -> dim::LabelKey {
+    let fiber = net.fiber(f);
+    dim::LabelKey::Link(fiber.a as u16, fiber.b as u16)
+}
+
+/// Merges one execution's per-fiber attempt tallies and pair deliveries
+/// into the `netsim.link.*` families. `per_fiber_attempts` is empty when
+/// telemetry was off at tally time (nothing to record).
+fn record_link_attempts(
+    net: &Network,
+    route: &[FiberId],
+    per_fiber_attempts: &[u64],
+    delivered: impl Fn(usize) -> u64,
+) {
+    if per_fiber_attempts.is_empty() {
+        return;
+    }
+    let attempts = dim::counter_family("netsim.link.attempts");
+    let successes = dim::counter_family("netsim.link.successes");
+    for (i, (&f, &a)) in route.iter().zip(per_fiber_attempts).enumerate() {
+        let key = link_key(net, f);
+        attempts.add(key, a);
+        successes.add(key, delivered(i));
+    }
+}
 
 /// One leg of a planned transfer, ending either at a server that performs
 /// error correction or at the destination user.
@@ -164,7 +193,7 @@ pub fn execute_plan<R: Rng + ?Sized>(
                         break;
                     }
                 };
-                let ticks = advance_core(&route, config, rng);
+                let ticks = advance_core(net, &route, config, rng);
                 match ticks {
                     Some(t) => (core_segment_fidelity(net.path_fidelity(&route)), 0.0, t),
                     None => {
@@ -213,6 +242,7 @@ pub fn execute_plan<R: Rng + ?Sized>(
 /// least `min_advance` fibers (or whatever remains). Returns ticks used,
 /// or `None` on timeout.
 fn advance_core<R: Rng + ?Sized>(
+    net: &Network,
     route: &[FiberId],
     config: &ExecutionConfig,
     rng: &mut R,
@@ -224,12 +254,18 @@ fn advance_core<R: Rng + ?Sized>(
     let mut ready = vec![false; len];
     let mut pos = 0usize; // fibers 0..pos already crossed
     let mut attempts = 0u64;
+    // Per-fiber attempt tallies for the netsim.link.* families; empty (and
+    // free) when telemetry is off.
+    let mut per_fiber_attempts = vec![0u64; if surfnet_telemetry::enabled() { len } else { 0 }];
     for tick in 1..=config.max_ticks {
-        for r in ready.iter_mut().skip(pos) {
-            if !*r {
+        for i in pos..len {
+            if !ready[i] {
                 attempts += 1;
+                if let Some(tally) = per_fiber_attempts.get_mut(i) {
+                    *tally += 1;
+                }
                 if rng.gen::<f64>() < config.entanglement_rate {
-                    *r = true;
+                    ready[i] = true;
                 }
             }
         }
@@ -244,11 +280,13 @@ fn advance_core<R: Rng + ?Sized>(
             pos += run;
             if pos == len {
                 surfnet_telemetry::count!("netsim.entanglement_attempts", attempts);
+                record_link_attempts(net, route, &per_fiber_attempts, |i| ready[i] as u64);
                 return Some(tick);
             }
         }
     }
     surfnet_telemetry::count!("netsim.entanglement_attempts", attempts);
+    record_link_attempts(net, route, &per_fiber_attempts, |i| ready[i] as u64);
     None
 }
 
@@ -329,15 +367,16 @@ pub fn execute_teleportation<R: Rng + ?Sized>(
     let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Purify);
     let mut latency = 0u64;
     let mut fidelity = 1.0f64;
-    // Waits for one raw pair; returns false on timeout.
-    let wait_for_pair = |ticks: &mut u64, rng: &mut R| -> bool {
+    // Waits for one raw pair; returns false on timeout. Every tick is one
+    // generation attempt; `pairs` tallies the deliveries.
+    let wait_for_pair = |ticks: &mut u64, pairs: &mut u64, rng: &mut R| -> bool {
         loop {
             *ticks += 1;
-            surfnet_telemetry::count!("netsim.entanglement_attempts");
             if *ticks > config.max_ticks {
                 return false;
             }
             if rng.gen::<f64>() < config.entanglement_rate {
+                *pairs += 1;
                 return true;
             }
         }
@@ -346,43 +385,54 @@ pub fn execute_teleportation<R: Rng + ?Sized>(
         let fiber = net.fiber(f);
         let raw = fiber.fidelity;
         let mut ticks = 0u64;
-        let fail = TeleportOutcome {
-            completed: false,
-            latency: 0,
-            fidelity: 0.0,
-        };
-        if !wait_for_pair(&mut ticks, rng) {
-            return TeleportOutcome {
-                latency: latency + ticks,
-                ..fail
-            };
-        }
-        let mut rho = raw;
-        let mut rounds = 0u32;
-        while rounds < n_purify {
-            if !wait_for_pair(&mut ticks, rng) {
-                return TeleportOutcome {
-                    latency: latency + ticks,
-                    ..fail
-                };
+        let mut pairs = 0u64;
+        let mut rounds_done = 0u64;
+        // The pump has several timeout exits; funneling them through one
+        // closure gives a single telemetry point per fiber below.
+        let mut pump = |rng: &mut R| -> Option<f64> {
+            if !wait_for_pair(&mut ticks, &mut pairs, rng) {
+                return None;
             }
-            let success_prob = rho * raw + (1.0 - rho) * (1.0 - raw);
-            if rng.gen::<f64>() < success_prob {
-                rho = purify(rho, raw);
-                rounds += 1;
-                surfnet_telemetry::count!("netsim.purification_rounds");
-            } else {
-                // Both pairs are destroyed; restart the pump.
-                if !wait_for_pair(&mut ticks, rng) {
-                    return TeleportOutcome {
-                        latency: latency + ticks,
-                        ..fail
-                    };
+            let mut rho = raw;
+            let mut rounds = 0u32;
+            while rounds < n_purify {
+                if !wait_for_pair(&mut ticks, &mut pairs, rng) {
+                    return None;
                 }
-                rho = raw;
-                rounds = 0;
+                let success_prob = rho * raw + (1.0 - rho) * (1.0 - raw);
+                if rng.gen::<f64>() < success_prob {
+                    rho = purify(rho, raw);
+                    rounds += 1;
+                    rounds_done += 1;
+                } else {
+                    // Both pairs are destroyed; restart the pump.
+                    if !wait_for_pair(&mut ticks, &mut pairs, rng) {
+                        return None;
+                    }
+                    rho = raw;
+                    rounds = 0;
+                }
             }
+            Some(rho)
+        };
+        let rho = pump(rng);
+        // One tallied increment per fiber (each wait tick is one attempt),
+        // not one per attempt — matching the other two execution paths.
+        surfnet_telemetry::count!("netsim.entanglement_attempts", ticks);
+        surfnet_telemetry::count!("netsim.purification_rounds", rounds_done);
+        if surfnet_telemetry::enabled() {
+            let key = dim::LabelKey::Link(fiber.a as u16, fiber.b as u16);
+            dim::counter_family("netsim.link.attempts").add(key, ticks);
+            dim::counter_family("netsim.link.successes").add(key, pairs);
+            dim::counter_family("netsim.link.purification_rounds").add(key, rounds_done);
         }
+        let Some(rho) = rho else {
+            return TeleportOutcome {
+                completed: false,
+                latency: latency + ticks,
+                fidelity: 0.0,
+            };
+        };
         latency += ticks;
         fidelity *= rho;
     }
@@ -556,11 +606,12 @@ mod tests {
             entanglement_rate: 1.0,
             ..ExecutionConfig::default()
         };
-        assert_eq!(advance_core(&[0, 1], &config, &mut rng), Some(1));
+        let net = line_net();
+        assert_eq!(advance_core(&net, &[0, 1], &config, &mut rng), Some(1));
         // A single-fiber route is allowed to advance with one pair.
-        assert_eq!(advance_core(&[0], &config, &mut rng), Some(1));
+        assert_eq!(advance_core(&net, &[0], &config, &mut rng), Some(1));
         // Empty route: nothing to do.
-        assert_eq!(advance_core(&[], &config, &mut rng), Some(0));
+        assert_eq!(advance_core(&net, &[], &config, &mut rng), Some(0));
     }
 
     #[test]

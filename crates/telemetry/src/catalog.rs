@@ -9,8 +9,8 @@
 //! Keep [`CATALOG`] sorted by name: [`lookup`] binary-searches it, and
 //! [`validate`] rejects out-of-order or duplicate entries.
 
-/// Whether a metric name denotes a counter, a span/timer, or a journal
-/// event.
+/// Whether a metric name denotes a counter, a span/timer, a journal event,
+/// or a labeled metric family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Monotonic event count (`count!` / `counter()`).
@@ -19,6 +19,9 @@ pub enum MetricKind {
     Timer,
     /// Journal record (`event!`), exported via `SURFNET_TRACE`.
     Event,
+    /// Labeled metric family (`dim::counter_family()` /
+    /// `dim::histogram_family()`), keyed by a `dim::LabelKey`.
+    Family,
 }
 
 /// All registered metric names, sorted by name.
@@ -35,6 +38,7 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("decoder.cache_hits", MetricKind::Counter),
     ("decoder.cache_misses", MetricKind::Counter),
     ("decoder.dijkstra_relaxations", MetricKind::Counter),
+    ("decoder.distance.decode_latency", MetricKind::Family),
     ("decoder.growth_rounds", MetricKind::Counter),
     ("decoder.mwpm.decode", MetricKind::Timer),
     ("decoder.peel", MetricKind::Timer),
@@ -42,6 +46,7 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("decoder.surfnet.decode", MetricKind::Timer),
     ("decoder.trivial_skips", MetricKind::Counter),
     ("decoder.union_find.decode", MetricKind::Timer),
+    ("evaluate.segment.logical_errors", MetricKind::Family),
     ("evaluate.shot_failed", MetricKind::Event),
     ("flight.capture", MetricKind::Event),
     ("flight.captured", MetricKind::Counter),
@@ -54,6 +59,9 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("netsim.execute_concurrently", MetricKind::Timer),
     ("netsim.execute_plan", MetricKind::Timer),
     ("netsim.execute_teleportation", MetricKind::Timer),
+    ("netsim.link.attempts", MetricKind::Family),
+    ("netsim.link.purification_rounds", MetricKind::Family),
+    ("netsim.link.successes", MetricKind::Family),
     ("netsim.purification_rounds", MetricKind::Counter),
     ("pipeline.evaluate", MetricKind::Timer),
     ("pipeline.execute", MetricKind::Timer),
@@ -64,8 +72,10 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("routing.assign_codes", MetricKind::Timer),
     ("routing.codes_scheduled", MetricKind::Counter),
     ("routing.infeasible_attempts", MetricKind::Counter),
+    ("routing.request.code_distance", MetricKind::Family),
     ("routing.schedule", MetricKind::Timer),
     ("runner.trial_failures", MetricKind::Counter),
+    ("telemetry.dim.dropped_labels", MetricKind::Counter),
     ("telemetry.dropped", MetricKind::Counter),
     ("trial.run", MetricKind::Timer),
     ("trial.stage.decode", MetricKind::Timer),
@@ -113,6 +123,11 @@ mod tests {
         assert_eq!(lookup("journal.dropped"), Some(MetricKind::Counter));
         assert_eq!(lookup("trial.run"), Some(MetricKind::Timer));
         assert_eq!(lookup("trial.stage.decode"), Some(MetricKind::Timer));
+        assert_eq!(lookup("netsim.link.attempts"), Some(MetricKind::Family));
+        assert_eq!(
+            lookup("decoder.distance.decode_latency"),
+            Some(MetricKind::Family)
+        );
         assert_eq!(lookup("no.such.metric"), None);
     }
 }

@@ -18,6 +18,8 @@ pub const ENV_VARS: &[&str] = &[
     "SURFNET_BENCH_DIR",
     // Debug-build invariant checkers in decoder/lp: "1" enables.
     "SURFNET_CHECK",
+    // Per-family label cap for dim metric families: a positive integer.
+    "SURFNET_DIM_CARDINALITY",
     // Flight-recorder capture directory: `<dir>` arms; ""/"0"/"off" disarm.
     "SURFNET_FLIGHT",
     // Flight-recorder capture budget: a non-negative integer.

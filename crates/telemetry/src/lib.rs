@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod dim;
 pub mod envreg;
 pub mod hist;
 pub mod journal;
@@ -145,6 +146,7 @@ impl Telemetry {
         MODE.store(tag, Ordering::Relaxed);
         // analyzer:allow(atomic-ordering): same single-threaded init gate
         ENABLED.store(mode != Mode::Off, Ordering::Relaxed);
+        dim::init_from_env();
         mode
     }
 
@@ -516,6 +518,10 @@ struct LocalShard {
     counts: Vec<u64>,
     sums: Vec<u64>,
     hists: Vec<Option<Box<[u64]>>>,
+    /// Per-family label maps ([`dim`]), indexed by family id. Merged and
+    /// flushed on exactly the same schedule as the flat metrics above, so
+    /// labeled data obeys the same scoped-flush discipline.
+    dim: Vec<dim::FamilyShard>,
 }
 
 impl LocalShard {
@@ -524,6 +530,7 @@ impl LocalShard {
             counts: vec![0; MAX_METRICS],
             sums: vec![0; MAX_METRICS],
             hists: (0..MAX_METRICS).map(|_| None).collect(),
+            dim: Vec::new(),
         }
     }
 
@@ -564,7 +571,14 @@ impl LocalShard {
                 }
             }
         }
+        dim::merge_local(&mut self.dim);
     }
+}
+
+/// Gives [`dim`] access to the calling thread's label shards; recording
+/// stays inside the same thread-local the flat metrics use.
+pub(crate) fn with_dim_shard<R>(f: impl FnOnce(&mut Vec<dim::FamilyShard>) -> R) -> R {
+    SHARD.with(|s| f(&mut s.borrow_mut().dim))
 }
 
 /// Armed flag for the shard-drop test hook; one relaxed load per shard
@@ -658,6 +672,9 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Stats for every timer, registration order.
     pub timers: Vec<TimerStats>,
+    /// Labeled metric families ([`dim`]), sorted by name with labels in
+    /// deterministic key order.
+    pub groups: Vec<dim::FamilySnapshot>,
 }
 
 impl Snapshot {
@@ -672,6 +689,11 @@ impl Snapshot {
     /// Stats of the timer `name`, if registered.
     pub fn timer(&self, name: &str) -> Option<&TimerStats> {
         self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// Snapshot of the metric family `name`, if registered.
+    pub fn group(&self, name: &str) -> Option<&dim::FamilySnapshot> {
+        self.groups.iter().find(|f| f.name == name)
     }
 }
 
@@ -727,6 +749,11 @@ pub fn snapshot() -> Snapshot {
         .push(("journal.dropped".to_string(), journal::dropped_events()));
     snap.counters
         .push(("telemetry.dropped".to_string(), dropped_metrics()));
+    snap.counters.push((
+        "telemetry.dim.dropped_labels".to_string(),
+        dim::dropped_labels(),
+    ));
+    snap.groups = dim::snapshot_families();
     snap
 }
 
@@ -742,7 +769,9 @@ pub fn reset() {
         shard.counts.iter_mut().for_each(|c| *c = 0);
         shard.sums.iter_mut().for_each(|c| *c = 0);
         shard.hists.iter_mut().for_each(|h| *h = None);
+        shard.dim.clear();
     });
+    dim::reset();
     let reg = registry();
     for c in &reg.counts {
         // analyzer:allow(atomic-ordering): quiescent-state zeroing
@@ -831,6 +860,24 @@ pub fn render_table(snap: &Snapshot) -> String {
     for (name, value) in &snap.counters {
         out.push_str(&format!("{name:<name_w$}  {value}\n"));
     }
+    if snap.groups.iter().any(|f| !f.labels.is_empty()) {
+        out.push_str("telemetry: metric families\n");
+        let series_w = snap
+            .groups
+            .iter()
+            .flat_map(|f| f.labels.iter().map(|l| f.name.len() + l.label.len() + 2))
+            .max()
+            .unwrap_or(6)
+            .max("series".len());
+        out.push_str(&format!("{:<series_w$}  value\n", "series"));
+        out.push_str(&format!("{}  -----\n", "-".repeat(series_w)));
+        for fam in &snap.groups {
+            for l in &fam.labels {
+                let series = format!("{}{{{}}}", fam.name, l.label);
+                out.push_str(&format!("{series:<series_w$}  {}\n", l.value));
+            }
+        }
+    }
     out
 }
 
@@ -849,7 +896,9 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders a snapshot as a single-line JSON object:
-/// `{"counters":{..},"timers":{name:{count,total_ns,mean_ns,p50_ns,p95_ns,p99_ns},..}}`.
+/// `{"counters":{..},"timers":{name:{count,total_ns,mean_ns,p50_ns,p95_ns,p99_ns},..},"groups":{"name{label}":value,..}}`
+/// — group values are counter values (counter families) or sample counts
+/// (histogram families).
 pub fn render_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (name, value)) in snap.counters.iter().enumerate() {
@@ -873,6 +922,22 @@ pub fn render_json(snap: &Snapshot) -> String {
             t.p95_ns,
             t.p99_ns
         ));
+    }
+    out.push_str("},\"groups\":{");
+    let mut first = true;
+    for fam in &snap.groups {
+        for l in &fam.labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}{{{}}}\":{}",
+                json_escape(&fam.name),
+                json_escape(&l.label),
+                l.value
+            ));
+        }
     }
     out.push_str("}}");
     out

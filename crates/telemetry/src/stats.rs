@@ -20,6 +20,9 @@
 //! * `counter_deltas` — per-window counter increments;
 //! * `timers` — cumulative `{count, total_ns}` per timer;
 //! * `timer_deltas` — per-window `{count, total_ns}` increments;
+//! * `groups` — cumulative labeled-family values, flattened to
+//!   `name{label}` keys (counter value or histogram sample count);
+//! * `group_deltas` — per-window family increments, same keys;
 //! * `gauges` — derived rates for the window: `shots_per_sec`,
 //!   `decoder.cache_hit_rate`, `journal.drop_rate_per_sec` (each present
 //!   only when its denominator is nonzero).
@@ -90,6 +93,8 @@ pub struct Sampler {
     prev_counters: Vec<(String, u64)>,
     /// `(name, count, total_ns)` of every timer at the previous sample.
     prev_timers: Vec<(String, u64, u64)>,
+    /// Flattened `name{label}` family values at the previous sample.
+    prev_groups: Vec<(String, u64)>,
 }
 
 impl Sampler {
@@ -126,6 +131,24 @@ impl Sampler {
                 )
             })
             .collect();
+        let groups: Vec<(String, u64)> = snap
+            .groups
+            .iter()
+            .flat_map(|fam| {
+                fam.labels
+                    .iter()
+                    .map(|l| (format!("{}{{{}}}", fam.name, l.label), l.value))
+            })
+            .collect();
+        let group_deltas: Vec<(String, u64)> = groups
+            .iter()
+            .map(|(name, v)| {
+                (
+                    name.clone(),
+                    v.saturating_sub(lookup_pair(&self.prev_groups, name).unwrap_or(0)),
+                )
+            })
+            .collect();
         let gauges = derive_gauges(dt_ms, &counter_deltas, &timer_deltas);
 
         let record = obj(vec![
@@ -158,12 +181,31 @@ impl Sampler {
                 "timer_deltas",
                 Value::Obj(timer_deltas.iter().map(timer_entry).collect()),
             ),
+            (
+                "groups",
+                Value::Obj(
+                    groups
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "group_deltas",
+                Value::Obj(
+                    group_deltas
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
             ("gauges", Value::Obj(gauges)),
         ]);
         self.seq += 1;
         self.prev_t_ms = t_ms;
         self.prev_counters = counters;
         self.prev_timers = timers;
+        self.prev_groups = groups;
         record
     }
 }
@@ -396,7 +438,28 @@ mod tests {
                     p99_ns: 0,
                 })
                 .collect(),
+            groups: Vec::new(),
         }
+    }
+
+    fn snap_with_groups(counters: &[(&str, u64)], groups: &[(&str, &[(&str, u64)])]) -> Snapshot {
+        let mut s = snap(counters, &[]);
+        s.groups = groups
+            .iter()
+            .map(|&(name, labels)| crate::dim::FamilySnapshot {
+                name: name.to_string(),
+                kind: crate::dim::FamilyKind::Counter,
+                labels: labels
+                    .iter()
+                    .map(|&(label, value)| crate::dim::LabelValue {
+                        label: label.to_string(),
+                        value,
+                        total_ns: 0,
+                    })
+                    .collect(),
+            })
+            .collect();
+        s
     }
 
     #[test]
@@ -518,6 +581,47 @@ mod tests {
         let decode = timer_deltas.get("decoder.surfnet.decode").unwrap();
         assert_eq!(decode.get("count").and_then(Value::as_u64), Some(50));
         assert_eq!(decode.get("total_ns").and_then(Value::as_u64), Some(4_000));
+    }
+
+    #[test]
+    fn sampler_emits_per_window_family_deltas() {
+        let mut sampler = Sampler::new();
+        let links: &[(&str, u64)] = &[("0-1", 10), ("1-2", 4)];
+        let first = sampler.sample(
+            500,
+            &snap_with_groups(&[], &[("netsim.link.attempts", links)]),
+        );
+        let links: &[(&str, u64)] = &[("0-1", 25), ("1-2", 4), ("2-3", 7)];
+        let second = sampler.sample(
+            1000,
+            &snap_with_groups(&[], &[("netsim.link.attempts", links)]),
+        );
+        let g = first.get("group_deltas").unwrap();
+        assert_eq!(
+            g.get("netsim.link.attempts{0-1}").and_then(Value::as_u64),
+            Some(10)
+        );
+        let g = second.get("group_deltas").unwrap();
+        assert_eq!(
+            g.get("netsim.link.attempts{0-1}").and_then(Value::as_u64),
+            Some(15)
+        );
+        assert_eq!(
+            g.get("netsim.link.attempts{1-2}").and_then(Value::as_u64),
+            Some(0)
+        );
+        // A label that first appears mid-run deltas from zero.
+        assert_eq!(
+            g.get("netsim.link.attempts{2-3}").and_then(Value::as_u64),
+            Some(7)
+        );
+        let cumulative = second.get("groups").unwrap();
+        assert_eq!(
+            cumulative
+                .get("netsim.link.attempts{0-1}")
+                .and_then(Value::as_u64),
+            Some(25)
+        );
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!   mid-stream flushes, and demands the post-join snapshot equal the sum
 //!   computed in plain code. Every seed exercises `WORKERS * ROUNDS`
 //!   scheduled interleaving points.
+//! * [`interleaved_schedules_preserve_exact_labeled_totals`] drives the
+//!   same turnstile through a `dim` labeled counter family (one label per
+//!   worker), so the label-shard merge path obeys the identical
+//!   conservation bar: per-label totals exact, snapshot order stable,
+//!   same seed → byte-identical labeled snapshot.
 //! * [`missing_scoped_flush_loses_shards_deterministically`] reproduces
 //!   the historical scoped-thread shard-loss bug on purpose:
 //!   `std::thread::scope` unblocks when the closures return, *before* TLS
@@ -34,6 +39,7 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use surfnet_telemetry::dim::{self, LabelKey};
 use surfnet_telemetry::{self as telemetry, Telemetry};
 
 /// Worker threads per schedule.
@@ -245,6 +251,46 @@ fn run_schedule(seed: u64) -> (u64, Vec<usize>) {
     (total, turnstile.executed())
 }
 
+/// The labeled twin of [`run_schedule`]: every step records into a `dim`
+/// counter family under the acting worker's `Node` label, so per-label
+/// conservation is checked through the same scheduled interleavings.
+/// Returns `(labeled_snapshot, executed_worker_order)`.
+fn run_labeled_schedule(seed: u64) -> (Vec<(String, u64)>, Vec<usize>) {
+    telemetry::reset();
+    let _t = Telemetry::enabled();
+    let turnstile = Arc::new(Turnstile::new(build_schedule(seed)));
+    std::thread::scope(|s| {
+        for worker in 0..WORKERS {
+            let turnstile = Arc::clone(&turnstile);
+            s.spawn(move || {
+                let fam = dim::counter_family("race.dim.interleave");
+                while let Some(i) = turnstile.claim(worker) {
+                    let step = &turnstile.steps[i];
+                    fam.add(LabelKey::Node(worker as u32), step.amount);
+                    if step.flush {
+                        telemetry::flush();
+                    }
+                    turnstile.advance(worker);
+                }
+                // Scoped-flush guard, exactly as in the flat-counter twin.
+                telemetry::flush();
+            });
+        }
+    });
+    let snap = telemetry::snapshot();
+    let labels = snap
+        .group("race.dim.interleave")
+        .map(|f| {
+            f.labels
+                .iter()
+                .map(|l| (l.label.clone(), l.value))
+                .collect()
+        })
+        .unwrap_or_default();
+    let _t = Telemetry::disabled();
+    (labels, turnstile.executed())
+}
+
 // ---------------------------------------------------------------------------
 // The scoped-thread loss window.
 
@@ -424,6 +470,47 @@ fn same_seed_reproduces_identical_interleaving() {
     let first = run_schedule(seed);
     let second = run_schedule(seed);
     assert_eq!(first, second, "one seed must replay one interleaving");
+}
+
+#[test]
+fn interleaved_schedules_preserve_exact_labeled_totals() {
+    let _guard = guard();
+    for seed in seeds() {
+        let schedule = build_schedule(seed);
+        let mut per_worker = [0u64; WORKERS];
+        for s in &schedule {
+            per_worker[s.worker] += s.amount;
+        }
+        // Labels come out sorted by encoded key — `n0..n3` — independent
+        // of which worker's shard merged first.
+        let want: Vec<(String, u64)> = per_worker
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| (format!("n{w}"), v))
+            .collect();
+        let scheduled: Vec<usize> = schedule.iter().map(|s| s.worker).collect();
+        let (labels, executed) = run_labeled_schedule(seed);
+        assert_eq!(
+            labels, want,
+            "seed {seed:#x}: label-shard merge lost, duplicated, or misattributed counts"
+        );
+        assert_eq!(
+            executed, scheduled,
+            "seed {seed:#x}: turnstile deviated from its schedule"
+        );
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_labeled_snapshot() {
+    let _guard = guard();
+    let seed = 0x5EED_D1E5;
+    let first = run_labeled_schedule(seed);
+    let second = run_labeled_schedule(seed);
+    assert_eq!(
+        first, second,
+        "one seed must replay one labeled interleaving, byte for byte"
+    );
 }
 
 #[test]
