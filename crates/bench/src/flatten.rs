@@ -7,7 +7,9 @@
 //! segment (latency and error rates are better when lower), so flatteners
 //! must keep those suffixes.
 
-use surfnet_core::experiments::{fig6a::Fig6a, fig6b::Sweep, fig7::Fig7, fig8::ThresholdCurves};
+use surfnet_core::experiments::{
+    fig6a::Fig6a, fig6b::Sweep, fig7::Fig7, fig8::ThresholdCurves, stream::StreamResult,
+};
 
 /// Fig. 6(a): per (scenario, design) throughput, latency, fidelity.
 pub fn fig6a(result: &Fig6a) -> Vec<(String, f64)> {
@@ -81,6 +83,35 @@ pub fn fig8(curves: &ThresholdCurves) -> Vec<(String, f64)> {
     out
 }
 
+/// Streaming scenario: pooled counters, the sustained completion rate,
+/// latency percentiles, and the per-reason drop taxonomy. The `dropped*`,
+/// `failed*`, and `latency*` suffixes make those series lower-is-better
+/// under `bench-diff`.
+pub fn stream(result: &StreamResult) -> Vec<(String, f64)> {
+    let p = &result.pooled;
+    vec![
+        ("stream/arrivals".to_string(), p.arrivals as f64),
+        ("stream/admitted".to_string(), p.admitted as f64),
+        ("stream/completed".to_string(), p.completed as f64),
+        ("stream/failed_transfers".to_string(), p.failed as f64),
+        ("stream/deferred".to_string(), p.deferred as f64),
+        ("stream/dropped_total".to_string(), p.dropped() as f64),
+        (
+            "stream/dropped_capacity".to_string(),
+            p.dropped_capacity as f64,
+        ),
+        ("stream/dropped_pool".to_string(), p.dropped_pool as f64),
+        (
+            "stream/dropped_unroutable".to_string(),
+            p.dropped_unroutable as f64,
+        ),
+        ("stream/dropped_rate".to_string(), p.drop_rate()),
+        ("stream/requests_per_sec".to_string(), p.requests_per_sec()),
+        ("stream/latency_p50".to_string(), p.latency_percentile(0.50)),
+        ("stream/latency_p99".to_string(), p.latency_percentile(0.99)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +137,49 @@ mod tests {
                 ("surfnet/threshold".to_string(), 0.07),
             ]
         );
+    }
+
+    #[test]
+    fn stream_keys_carry_diff_directions() {
+        use surfnet_netsim::event::StreamStats;
+        let result = StreamResult {
+            rows: Vec::new(),
+            pooled: StreamStats {
+                arrivals: 10,
+                admitted: 7,
+                completed: 5,
+                failed: 2,
+                deferred: 4,
+                dropped_unroutable: 0,
+                dropped_capacity: 2,
+                dropped_pool: 1,
+                end_time: 1000,
+                latencies: vec![10, 20, 30],
+            },
+            num_nodes: 4,
+            num_fibers: 3,
+        };
+        let flat = stream(&result);
+        assert_eq!(flat.len(), 13);
+        let get = |key: &str| flat.iter().find(|(k, _)| k == key).unwrap().1;
+        assert_eq!(get("stream/dropped_total"), 3.0);
+        assert_eq!(get("stream/dropped_rate"), 0.3);
+        assert_eq!(get("stream/requests_per_sec"), 5.0);
+        // Drop/failure/latency series must regress when they rise.
+        for key in [
+            "stream/dropped_total",
+            "stream/dropped_capacity",
+            "stream/dropped_pool",
+            "stream/dropped_unroutable",
+            "stream/dropped_rate",
+            "stream/failed_transfers",
+            "stream/latency_p50",
+            "stream/latency_p99",
+        ] {
+            assert!(crate::diff::lower_is_better(key), "{key}");
+        }
+        assert!(!crate::diff::lower_is_better("stream/requests_per_sec"));
+        assert!(!crate::diff::lower_is_better("stream/completed"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! | [`fig6b`] | Fig. 6(b.1–b.4): parameter sweeps |
 //! | [`fig7`] | Fig. 7: five designs × four scenarios |
 //! | [`fig8`] | Fig. 8: decoder thresholds (UF vs SurfNet) |
+//! | [`stream`] | streaming scenario: open arrivals through the event engine |
 //! | [`runner`] | shared parallel Monte-Carlo machinery |
 
 pub mod fig6a;
@@ -13,3 +14,4 @@ pub mod fig6b;
 pub mod fig7;
 pub mod fig8;
 pub mod runner;
+pub mod stream;

@@ -10,10 +10,66 @@
 //! with a rotating head so no transfer starves.
 
 use crate::entanglement::core_segment_fidelity;
-use crate::execution::{link_key, ExecutionConfig, ExecutionOutcome, SegmentOutcome, TransferPlan};
+use crate::execution::{
+    link_key, recover_route, ExecutionConfig, ExecutionOutcome, PlannedSegment, SegmentOutcome,
+    TransferPlan,
+};
 use crate::topology::Network;
 use rand::Rng;
 use surfnet_telemetry::dim;
+
+/// A plan's routes after applying this transfer's sampled fiber failures:
+/// the recovered segments that remain routable, and whether the whole plan
+/// survived (a `false` tail means the transfer fails upon reaching the
+/// first unroutable segment, charging nothing for it — route failures are
+/// detected at segment planning time, matching `execute_plan`).
+struct EffectivePlan {
+    segments: Vec<PlannedSegment>,
+    routable: bool,
+}
+
+/// Applies per-transfer fiber failures to every segment of `plan`,
+/// detouring failed fibers via recovery paths (as `execute_plan` does
+/// lazily, segment by segment).
+fn recover_plan(net: &Network, plan: &TransferPlan, failed: &[bool]) -> EffectivePlan {
+    let mut segments = Vec::with_capacity(plan.segments.len());
+    let mut cursor = plan.src;
+    for seg in &plan.segments {
+        let Some(support_route) = recover_route(net, cursor, &seg.support_route, failed) else {
+            return EffectivePlan {
+                segments,
+                routable: false,
+            };
+        };
+        let end = net
+            .walk(cursor, &support_route)
+            .last()
+            .copied()
+            .unwrap_or(cursor);
+        let core_route = match &seg.core_route {
+            Some(route) => match recover_route(net, cursor, route, failed) {
+                Some(r) => Some(r),
+                None => {
+                    return EffectivePlan {
+                        segments,
+                        routable: false,
+                    }
+                }
+            },
+            None => None,
+        };
+        segments.push(PlannedSegment {
+            core_route,
+            support_route,
+            correct_at_end: seg.correct_at_end,
+        });
+        cursor = end;
+    }
+    EffectivePlan {
+        segments,
+        routable: true,
+    }
+}
 
 /// Per-transfer progress through its plan.
 #[derive(Debug)]
@@ -46,6 +102,20 @@ struct TransferState {
 /// performing opportunistic hops of at least
 /// [`ExecutionConfig::min_advance`] fibers.
 ///
+/// [`ExecutionConfig::max_ticks`] is a **per-segment** transport budget,
+/// as in [`crate::execution::execute_plan`]: a transfer whose in-flight
+/// segment has not completed within `max_ticks` ticks of the segment's
+/// start fails, charging the full budget to its latency. The loop runs
+/// until every transfer finishes or fails (bounded by
+/// `segments × (max_ticks + 1)` ticks per transfer).
+///
+/// Nonzero [`ExecutionConfig::fiber_failure_prob`] samples per-transfer
+/// fiber failures (persisting for that whole transfer) and detours them
+/// via the same recovery paths `execute_plan` uses; a transfer reaching an
+/// unroutable segment fails at that segment's planning time. Sampling is
+/// skipped entirely at probability zero, keeping the RNG stream — and
+/// thus every seeded failure-free baseline — unchanged.
+///
 /// # Panics
 ///
 /// Panics if a plan references fibers outside `net`.
@@ -58,20 +128,38 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
     let _span = surfnet_telemetry::span!("netsim.execute_concurrently");
     let _stage = surfnet_telemetry::stage::scope(surfnet_telemetry::stage::Stage::Entangle);
     let mut pools: Vec<u32> = vec![0; net.num_fibers()];
-    let mut states: Vec<TransferState> = plans
+    let effective: Vec<EffectivePlan> = plans
         .iter()
         .map(|p| {
             assert!(!p.segments.is_empty(), "plan has no segments");
-            TransferState {
-                segment: 0,
-                core_pos: 0,
-                support_arrival: p.segments[0].support_route.len() as u64,
-                segment_start: 0,
-                segments_done: Vec::new(),
-                finished: false,
-                failed: false,
-                total_ticks: 0,
+            if config.fiber_failure_prob == 0.0 {
+                EffectivePlan {
+                    segments: p.segments.clone(),
+                    routable: true,
+                }
+            } else {
+                let failed: Vec<bool> = (0..net.num_fibers())
+                    .map(|_| rng.gen::<f64>() < config.fiber_failure_prob)
+                    .collect();
+                recover_plan(net, p, &failed)
             }
+        })
+        .collect();
+    let mut states: Vec<TransferState> = effective
+        .iter()
+        .map(|p| TransferState {
+            segment: 0,
+            core_pos: 0,
+            support_arrival: p
+                .segments
+                .first()
+                .map_or(0, |s| s.support_route.len() as u64),
+            segment_start: 0,
+            segments_done: Vec::new(),
+            finished: false,
+            // The very first segment may already be unroutable.
+            failed: p.segments.is_empty(),
+            total_ticks: 0,
         })
         .collect();
 
@@ -87,7 +175,7 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
     let mut fiber_successes: Vec<u64> = vec![0; tally_len];
 
     let mut tick: u64 = 0;
-    while tick < config.max_ticks && states.iter().any(|s| !s.finished && !s.failed) {
+    while states.iter().any(|s| !s.finished && !s.failed) {
         tick += 1;
         // Refill pair pools.
         let mut attempts = 0u64;
@@ -118,7 +206,7 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
             if states[i].finished || states[i].failed {
                 continue;
             }
-            step_transfer(net, &plans[i], &mut states[i], &mut pools, config, tick);
+            step_transfer(net, &effective[i], &mut states[i], &mut pools, config, tick);
         }
     }
 
@@ -141,7 +229,10 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
             let completed = s.finished && !s.failed;
             ExecutionOutcome {
                 completed,
-                latency: if completed { s.total_ticks } else { tick },
+                // Unified failure-latency contract: failed transfers have
+                // already charged completed segments plus the burned
+                // budget of the failing segment into `total_ticks`.
+                latency: s.total_ticks,
                 segments: s.segments_done,
             }
         })
@@ -151,7 +242,7 @@ pub fn execute_concurrently<R: Rng + ?Sized>(
 /// Advances one transfer by one tick.
 fn step_transfer(
     net: &Network,
-    plan: &TransferPlan,
+    plan: &EffectivePlan,
     state: &mut TransferState,
     pools: &mut [u32],
     config: &ExecutionConfig,
@@ -181,6 +272,14 @@ fn step_transfer(
     };
     let support_done = tick >= state.segment_start + state.support_arrival;
     if !(core_done && support_done) {
+        // Per-segment transport budget (see `ExecutionConfig::max_ticks`):
+        // completing at exactly `max_ticks` elapsed is within budget (the
+        // completion branch below), but an incomplete segment at that
+        // point has exhausted it — charge the whole budget and fail.
+        if tick - state.segment_start >= config.max_ticks {
+            state.failed = true;
+            state.total_ticks += config.max_ticks;
+        }
         return;
     }
     // Segment complete (plus one tick for EC when scheduled).
@@ -210,7 +309,14 @@ fn step_transfer(
     state.total_ticks += seg_ticks;
     state.segment += 1;
     if state.segment == plan.segments.len() {
-        state.finished = true;
+        // End of the routable prefix: done, unless fiber failures cut the
+        // plan short — then the next segment is unroutable, detected at
+        // its planning time (nothing further is charged).
+        if plan.routable {
+            state.finished = true;
+        } else {
+            state.failed = true;
+        }
     } else {
         state.segment_start = tick + ec_ticks;
         state.core_pos = 0;
@@ -313,6 +419,134 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let outs = execute_concurrently(&net, &[plan()], &config, &mut rng);
         assert!(!outs[0].completed);
+        // Unified failure-latency contract: the first segment burned its
+        // whole per-segment transport budget.
+        assert_eq!(outs[0].latency, 100);
+    }
+
+    #[test]
+    fn second_segment_timeout_charges_completed_plus_budget() {
+        // Segment 1 completes instantly at rate 1.0; segment 2's Support
+        // transit (3 fibers) exceeds the 2-tick budget. The transfer must
+        // charge segment 1's ticks plus the burned budget — not the
+        // global tick counter the engine previously reported.
+        let net = line_net(8);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            max_ticks: 2,
+            ..ExecutionConfig::default()
+        };
+        let long_tail = TransferPlan {
+            src: 0,
+            dst: 3,
+            segments: vec![
+                PlannedSegment {
+                    core_route: Some(vec![0, 1]),
+                    support_route: vec![0, 1],
+                    correct_at_end: true,
+                },
+                PlannedSegment {
+                    core_route: Some(vec![2]),
+                    support_route: vec![2, 2, 2],
+                    correct_at_end: false,
+                },
+            ],
+        };
+        let mut rng = SmallRng::seed_from_u64(30);
+        let outs = execute_concurrently(&net, &[long_tail], &config, &mut rng);
+        assert!(!outs[0].completed);
+        // Segment 1: Support 2 ticks, Core 1 tick → transport 2 (== the
+        // budget, within it) + 1 EC tick = 3. Segment 2: budget burned.
+        assert_eq!(outs[0].segments.len(), 1);
+        assert_eq!(outs[0].segments[0].ticks, 3);
+        assert_eq!(outs[0].latency, 3 + 2);
+    }
+
+    #[test]
+    fn max_ticks_budget_is_per_segment_not_whole_run() {
+        // The whole run takes 4 ticks (3 + 1 across two segments), which
+        // exceeds a 3-tick budget — but each individual segment fits, so
+        // the transfer completes: the budget restarts with each segment
+        // (the engine previously cut the whole run off at `max_ticks`).
+        let net = line_net(8);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            max_ticks: 3,
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(31);
+        let outs = execute_concurrently(&net, &[plan()], &config, &mut rng);
+        assert!(outs[0].completed, "per-segment budgets must not compound");
+        assert_eq!(outs[0].latency, 4, "whole run exceeds one budget");
+    }
+
+    #[test]
+    fn fiber_failures_are_sampled_and_unroutable_plans_fail() {
+        // Every fiber down on a tree topology: no recovery path exists, so
+        // the transfer fails at segment-planning time with zero latency —
+        // matching `execute_plan`'s contract.
+        let net = line_net(8);
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            fiber_failure_prob: 1.0,
+            ..ExecutionConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(32);
+        let outs = execute_concurrently(&net, &[plan()], &config, &mut rng);
+        assert!(!outs[0].completed);
+        assert_eq!(outs[0].latency, 0);
+        assert!(outs[0].segments.is_empty());
+    }
+
+    #[test]
+    fn fiber_failures_take_recovery_paths() {
+        // Square 0-1-3 / 0-2-1: failing fiber 0 (0-1) leaves the detour
+        // 0-2, 2-1, so a transfer routed over [f01, f13] still completes
+        // with the recovered (longer) route's fidelity.
+        let mut net = Network::new();
+        let n0 = net.add_node(NodeKind::User, 0);
+        let n1 = net.add_node(NodeKind::Switch, 10);
+        let n2 = net.add_node(NodeKind::Switch, 10);
+        let n3 = net.add_node(NodeKind::User, 0);
+        let f01 = net.add_fiber(n0, n1, 0.99, 8, 0.0).unwrap();
+        let f13 = net.add_fiber(n1, n3, 0.9, 8, 0.0).unwrap();
+        let f02 = net.add_fiber(n0, n2, 0.9, 8, 0.0).unwrap();
+        let f21 = net.add_fiber(n2, n1, 0.9, 8, 0.0).unwrap();
+        let _ = (f02, f21);
+        let direct = TransferPlan {
+            src: n0,
+            dst: n3,
+            segments: vec![PlannedSegment {
+                core_route: Some(vec![f01, f13]),
+                support_route: vec![f01, f13],
+                correct_at_end: false,
+            }],
+        };
+        let config = ExecutionConfig {
+            entanglement_rate: 1.0,
+            // Per-transfer failure sampling draws one uniform per fiber;
+            // pick a seed whose first four draws fail exactly fiber 0.
+            fiber_failure_prob: 0.5,
+            ..ExecutionConfig::default()
+        };
+        let mut found_recovery = false;
+        for seed in 0..64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let draws: Vec<bool> = (0..4).map(|_| rng.gen::<f64>() < 0.5).collect();
+            if draws != [true, false, false, false] {
+                continue;
+            }
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let outs = execute_concurrently(&net, std::slice::from_ref(&direct), &config, &mut rng);
+            assert!(outs[0].completed, "recovery path should complete");
+            // Detoured Support route 0-2, 2-1, 1-3: fidelity 0.9³, not the
+            // direct route's 0.99 × 0.9.
+            let got = outs[0].segments[0].support_fidelity;
+            assert!((got - 0.9f64.powi(3)).abs() < 1e-12, "fidelity {got}");
+            found_recovery = true;
+            break;
+        }
+        assert!(found_recovery, "no seed produced the target failure set");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   entanglement channel with opportunistic forwarding (minimum segment
 //!   of two fibers), local recovery paths around failed fibers, and
 //!   hop-by-hop teleportation for the Purification-N baselines;
+//! * [`event`] — the streaming discrete-event engine: an indexed
+//!   binary-heap event queue, open Poisson / trace-driven arrivals,
+//!   per-link batched (geometric) entanglement sampling, and admission
+//!   control with backpressure against relay memory and fiber pools;
 //! * [`request`] — communication requests `k = [(s_k, d_k), i_k]`.
 //!
 //! # Examples
@@ -49,6 +53,7 @@
 
 pub mod concurrent;
 pub mod entanglement;
+pub mod event;
 pub mod execution;
 pub mod generate;
 pub mod request;

@@ -63,6 +63,17 @@ pub const CATALOG: &[(&str, MetricKind)] = &[
     ("netsim.link.purification_rounds", MetricKind::Family),
     ("netsim.link.successes", MetricKind::Family),
     ("netsim.purification_rounds", MetricKind::Counter),
+    ("netsim.stream.admitted", MetricKind::Counter),
+    ("netsim.stream.arrivals", MetricKind::Counter),
+    ("netsim.stream.completed", MetricKind::Counter),
+    ("netsim.stream.deferred", MetricKind::Counter),
+    ("netsim.stream.dropped.capacity", MetricKind::Counter),
+    ("netsim.stream.dropped.pool", MetricKind::Counter),
+    ("netsim.stream.dropped.unroutable", MetricKind::Counter),
+    ("netsim.stream.failed", MetricKind::Counter),
+    ("netsim.stream.link.dropped", MetricKind::Family),
+    ("netsim.stream.request_latency", MetricKind::Timer),
+    ("netsim.stream.simulate", MetricKind::Timer),
     ("pipeline.evaluate", MetricKind::Timer),
     ("pipeline.execute", MetricKind::Timer),
     ("pipeline.network_gen", MetricKind::Timer),
